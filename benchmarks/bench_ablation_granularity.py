@@ -1,0 +1,56 @@
+"""A1 — prefetch-granularity ablation (section 3.2 design knob).
+
+GODIVA lets developers pick the processing-unit granularity: whole
+time-step snapshots (Voyager's choice), single files, or finer. This
+ablation splits each snapshot's traffic into 1/2/8/32 units under a
+fixed memory window and measures visible I/O on the simulated Engle:
+finer units shrink the first-unit cold wait but a fixed window holds
+less lookahead.
+"""
+
+import pytest
+
+from repro.bench.ablations import granularity_ablation, split_units
+from repro.bench.figure3 import trace_all_workloads
+from repro.simulate.machine import ENGLE
+from repro.simulate.runner import simulate_voyager
+
+
+@pytest.fixture(scope="module")
+def workload(paper_scale_snapshot):
+    return trace_all_workloads(
+        paper_scale_snapshot.directory, n_snapshots=16
+    )["medium"]
+
+
+def test_granularity_sweep(benchmark, workload, results_dir):
+    table = benchmark.pedantic(
+        granularity_ablation,
+        args=(ENGLE, workload),
+        kwargs={"granularities": (1, 2, 8, 32)},
+        rounds=1,
+        iterations=1,
+    )
+    table.emit(results_dir)
+    firsts = {row[0]: row[3] for row in table.rows}
+    # The cold first wait shrinks proportionally with unit size.
+    assert firsts[32] < firsts[8] < firsts[1]
+
+
+def test_split_units_conserves_work(workload):
+    refined = split_units(workload, 8)
+    assert refined.n_snapshots == workload.n_snapshots * 8
+    total_bytes = refined.godiva.bytes_read * refined.n_snapshots
+    assert total_bytes == pytest.approx(
+        workload.godiva.bytes_read * workload.n_snapshots
+    )
+    assert refined.compute_s * 8 == pytest.approx(workload.compute_s)
+
+
+def test_equal_total_io_across_granularity(workload):
+    """Granularity redistributes, never changes, the total traffic."""
+    base = simulate_voyager(ENGLE, workload, "G")
+    fine = simulate_voyager(ENGLE, split_units(workload, 4), "G")
+    assert fine.visible_io_s == pytest.approx(
+        base.visible_io_s, rel=1e-9
+    )

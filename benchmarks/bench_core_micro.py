@@ -1,0 +1,127 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not a paper artifact — engineering guardrails for the pieces every
+experiment exercises: the RB-tree index, the SDF reader, marching
+tetrahedra, and the rasterizer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gen.tetmesh import structured_tet_block
+from repro.io.sdf import SdfReader, SdfWriter
+from repro.structures.rbtree import RedBlackTree
+from repro.viz.camera import Camera
+from repro.viz.colormap import Colormap
+from repro.viz.isosurface import marching_tets
+from repro.viz.render import Renderer
+
+
+def test_bench_rbtree_insert(benchmark):
+    keys = [(f"block_{i % 997:04d}$".encode(), f"{i}".encode())
+            for i in range(1000)]
+
+    def build():
+        tree = RedBlackTree()
+        for key in keys:
+            tree.insert(key, key)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == 1000
+
+
+def test_bench_rbtree_lookup(benchmark):
+    tree = RedBlackTree()
+    for i in range(10_000):
+        tree.insert(i, i)
+    benchmark(lambda: tree.find(7777))
+
+
+def test_bench_sdf_read(benchmark, tmp_path):
+    path = str(tmp_path / "bench.sdf")
+    data = np.random.default_rng(0).random(100_000)
+    with SdfWriter(path) as writer:
+        for i in range(10):
+            writer.add_dataset(f"d{i}", data)
+
+    def read_all():
+        with SdfReader(path) as reader:
+            return sum(
+                reader.read(name)[0] for name in reader.dataset_names
+            )
+
+    benchmark(read_all)
+
+
+def test_bench_marching_tets(benchmark):
+    mesh = structured_tet_block(12, 12, 12)
+    radius = np.linalg.norm(mesh.nodes - 0.5, axis=1)
+
+    soup = benchmark(
+        lambda: marching_tets(mesh.nodes, mesh.tets, radius, 0.35)
+    )
+    assert soup.n_triangles > 500
+
+
+def test_bench_rasterizer(benchmark):
+    mesh = structured_tet_block(8, 8, 8)
+    radius = np.linalg.norm(mesh.nodes - 0.5, axis=1)
+    soup = marching_tets(mesh.nodes, mesh.tets, radius, 0.35)
+    camera = Camera.fit_bounds((0, 0, 0), (1, 1, 1),
+                               width=160, height=120)
+    cmap = Colormap("heat", vmin=0.0, vmax=0.5)
+
+    def render():
+        renderer = Renderer(camera)
+        renderer.draw(soup, cmap)
+        return renderer.image()
+
+    image = benchmark(render)
+    assert image.shape == (120, 160, 3)
+
+
+def test_bench_unit_lifecycle(benchmark):
+    """add_unit -> wait_unit -> delete_unit cycle cost (single-thread
+    build, trivial read callback): the library's per-unit overhead."""
+    from repro.core.database import GBO
+    from repro.core.schema import RecordSchema, SchemaField
+    from repro.core.types import DataType
+
+    schema = RecordSchema("tiny", (
+        SchemaField("k", DataType.STRING, 8, is_key=True),
+        SchemaField("v", DataType.DOUBLE, 64),
+    ))
+    counter = {"i": 0}
+
+    def read_fn(gbo, name):
+        schema.ensure(gbo)
+        record = gbo.new_record("tiny")
+        record.field("k").write(name[-8:].rjust(8).encode())
+        gbo.commit_record(record)
+
+    with GBO(mem_mb=64, background_io=False) as gbo:
+        def cycle():
+            counter["i"] += 1
+            name = f"unit{counter['i']:08d}"
+            gbo.add_unit(name, read_fn)
+            gbo.wait_unit(name)
+            gbo.delete_unit(name)
+
+        benchmark(cycle)
+
+
+def test_bench_marching_tets_scaling():
+    """Marching tetrahedra scales roughly linearly in tet count."""
+    import time
+
+    times = {}
+    for n in (6, 12):
+        mesh = structured_tet_block(n, n, n)
+        radius = np.linalg.norm(mesh.nodes - 0.5, axis=1)
+        t0 = time.perf_counter()
+        for _ in range(3):
+            marching_tets(mesh.nodes, mesh.tets, radius, 0.35)
+        times[n] = (time.perf_counter() - t0) / 3
+    # 8x the tets should cost well under 32x the time (vectorized).
+    assert times[12] < 32 * times[6]

@@ -1,0 +1,74 @@
+"""F3a / N2 / N3 / N4 — Figure 3(a): Voyager running time on Engle.
+
+Traces the real pipeline over one paper-scale snapshot, replays 32
+snapshots on the simulated single-CPU Engle workstation (five seeded
+runs, as the paper averages five), and reports:
+
+* the bar values — computation and visible-I/O time for O / G / TG per
+  test;
+* the in-text metrics with the paper's numbers side by side:
+  I/O time reduction O->G (paper 17.6 % / 37.2 % / 20.1 %),
+  hidden fraction (24.7 % / 33.1 % / 37.8 %),
+  overall input-cost reduction (40.9 % / 60.5 % / 61.9 %).
+"""
+
+import pytest
+
+from repro.bench.figure3 import (
+    PAPER_ENGLE,
+    TESTS,
+    derived_metrics_table,
+    panel_table,
+    run_figure3_panel,
+    trace_all_workloads,
+)
+from repro.simulate.machine import ENGLE
+
+
+@pytest.fixture(scope="module")
+def workloads(paper_scale_snapshot):
+    return trace_all_workloads(
+        paper_scale_snapshot.directory, n_snapshots=32
+    )
+
+
+def test_figure3a(benchmark, workloads, results_dir):
+    panel = benchmark.pedantic(
+        run_figure3_panel,
+        args=(ENGLE, workloads),
+        kwargs={"seeds": (0, 1, 2, 3, 4), "jitter": 0.15},
+        rounds=1,
+        iterations=1,
+    )
+    panel_table(
+        panel, "Figure 3(a) — Voyager running time on Engle (1 CPU)"
+    ).emit(results_dir)
+    metrics = derived_metrics_table(
+        panel, "Engle derived metrics vs paper", paper=PAPER_ENGLE
+    )
+    metrics.emit(results_dir)
+
+    for test in TESTS:
+        io_o = panel.mean_visible(test, "O")
+        io_g = panel.mean_visible(test, "G")
+        t_g = panel.mean_total(test, "G")
+        t_tg = panel.mean_total(test, "TG")
+        t_o = panel.mean_total(test, "O")
+        # Shape assertions: G beats O on I/O; TG beats G overall but
+        # slows computation; hidden fraction lands in the paper's band.
+        assert io_g < io_o
+        assert t_tg < t_g < t_o
+        comp_g = t_g - io_g
+        comp_tg = t_tg - panel.mean_visible(test, "TG")
+        assert comp_tg > comp_g
+        hidden = (t_g - t_tg) / io_g
+        assert 0.15 < hidden < 0.55
+
+    # Ordering across tests: medium has the largest O->G reduction.
+    reductions = {
+        test: 1 - panel.mean_visible(test, "G")
+        / panel.mean_visible(test, "O")
+        for test in TESTS
+    }
+    assert reductions["medium"] > reductions["complex"]
+    assert reductions["medium"] > reductions["simple"]

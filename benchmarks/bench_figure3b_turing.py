@@ -1,0 +1,72 @@
+"""F3b / N5 — Figure 3(b): Voyager running time on a Turing node.
+
+Same harness as Figure 3(a) but on the simulated dual-CPU cluster node,
+with the paper's four versions: O, G, TG1 (a competing compute-bound
+job occupies the second CPU), and TG2 (Voyager alone). Paper targets:
+G visible-I/O reduction 16.0 % / 30.0 % / 10.7 %; TG hides 81.1-90.8 %
+of I/O; overall input-cost reduction up to 93.2 % / 90.3 % / 94.7 %.
+"""
+
+import pytest
+
+from repro.bench.figure3 import (
+    PAPER_TURING,
+    TESTS,
+    derived_metrics_table,
+    panel_table,
+    run_figure3_panel,
+    trace_all_workloads,
+)
+from repro.simulate.machine import TURING
+
+
+@pytest.fixture(scope="module")
+def workloads(paper_scale_snapshot):
+    return trace_all_workloads(
+        paper_scale_snapshot.directory, n_snapshots=32
+    )
+
+
+def test_figure3b(benchmark, workloads, results_dir):
+    panel = benchmark.pedantic(
+        run_figure3_panel,
+        args=(TURING, workloads),
+        kwargs={"seeds": (0, 1, 2, 3, 4), "jitter": 0.15},
+        rounds=1,
+        iterations=1,
+    )
+    panel_table(
+        panel,
+        "Figure 3(b) — Voyager running time on a Turing node (2 CPUs)",
+    ).emit(results_dir)
+    derived_metrics_table(
+        panel, "Turing derived metrics vs paper", paper=PAPER_TURING
+    ).emit(results_dir)
+
+    for test in TESTS:
+        io_g = panel.mean_visible(test, "G")
+        t_g = panel.mean_total(test, "G")
+        tg1 = panel.mean_total(test, "TG1")
+        tg2 = panel.mean_total(test, "TG2")
+        # Both TG variants dramatically reduce visible I/O; the hidden
+        # fraction lands in (or near) the paper's 81-91 % band.
+        for version in ("TG1", "TG2"):
+            assert panel.mean_visible(test, version) < 0.2 * io_g
+        hidden = (t_g - tg2) / io_g
+        assert 0.75 < hidden < 0.99
+        # TG1 (with competitor) is never faster than TG2.
+        assert tg1 >= tg2
+
+    # The dual-CPU hidden fractions dwarf Engle's (Figure 3 contrast).
+    from repro.simulate.machine import ENGLE
+    from repro.bench.figure3 import run_figure3_panel as run_panel
+
+    engle = run_panel(ENGLE, workloads, seeds=(0,), jitter=0.15)
+    for test in TESTS:
+        hidden_turing = (
+            panel.mean_total(test, "G") - panel.mean_total(test, "TG2")
+        ) / panel.mean_visible(test, "G")
+        hidden_engle = (
+            engle.mean_total(test, "G") - engle.mean_total(test, "TG")
+        ) / engle.mean_visible(test, "G")
+        assert hidden_turing > 2 * hidden_engle

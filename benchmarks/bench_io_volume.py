@@ -1,0 +1,79 @@
+"""N1 / N2 — I/O volume and I/O time reduction, real pipeline.
+
+Runs the actual O and G Voyager builds over a paper-scale snapshot and
+reports, per test, the read volume per snapshot (paper: 19.2 / 30.1 /
+16.6 MB), the volume reduction GODIVA's buffer reuse achieves (paper:
+~14 % / ~24 % / ~16 %), and the deterministic disk-model I/O time
+reduction (paper: 17.6 % / 37.2 % / 20.1 %) — the extra time savings
+coming from the eliminated back-and-forth seeks.
+"""
+
+import pytest
+
+from repro.bench.report import Table
+from repro.viz.voyager import Voyager, VoyagerConfig
+
+PAPER = {
+    "simple": {"mb": 19.2, "vol_red": 0.14, "time_red": 0.176},
+    "medium": {"mb": 30.1, "vol_red": 0.24, "time_red": 0.372},
+    "complex": {"mb": 16.6, "vol_red": 0.16, "time_red": 0.201},
+}
+
+
+def run_mode(dataset, test, mode):
+    return Voyager(VoyagerConfig(
+        data_dir=dataset.directory,
+        test=test,
+        mode=mode,
+        mem_mb=4096.0,
+        render=False,
+    )).run()
+
+
+def test_io_volume_reduction(benchmark, paper_scale_snapshot,
+                             results_dir):
+    def measure():
+        rows = {}
+        for test in PAPER:
+            rows[test] = (
+                run_mode(paper_scale_snapshot, test, "O"),
+                run_mode(paper_scale_snapshot, test, "G"),
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = Table(
+        title="N1/N2 — I/O volume and time reduction (O vs G, real "
+              "pipeline, per snapshot)",
+        headers=("test", "G MB/snap", "paper MB", "vol red",
+                 "paper vol", "io-time red", "paper time"),
+    )
+    for test, (o, g) in rows.items():
+        vol_red = 1 - g.bytes_read / o.bytes_read
+        time_red = 1 - g.virtual_io_s / o.virtual_io_s
+        table.add(
+            test,
+            g.bytes_read / 1e6,
+            PAPER[test]["mb"],
+            f"{vol_red:.1%}",
+            f"{PAPER[test]['vol_red']:.0%}",
+            f"{time_red:.1%}",
+            f"{PAPER[test]['time_red']:.1%}",
+        )
+        # Shape: reduction positive, within a loose band of the paper.
+        assert 0.05 < vol_red < 0.45
+        assert time_red > 0
+        # Volume within 25 % of the paper's per-snapshot input size.
+        assert abs(g.bytes_read / 1e6 - PAPER[test]["mb"]) \
+            < 0.25 * PAPER[test]["mb"]
+    table.emit(results_dir)
+
+    # Ordering: medium largest volume AND largest reduction.
+    vol = {t: rows[t][1].bytes_read for t in rows}
+    red = {
+        t: 1 - rows[t][1].bytes_read / rows[t][0].bytes_read
+        for t in rows
+    }
+    assert vol["medium"] > vol["simple"] > vol["complex"]
+    assert red["medium"] > red["complex"] > red["simple"]

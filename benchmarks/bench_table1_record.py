@@ -1,0 +1,87 @@
+"""T1 — Table 1 / Figure 2: the sample fluid record type and instance.
+
+Regenerates the paper's Table 1 (field name / data type / buffer size)
+and Figure 2's per-field sizes (11 / 9 / 808 / 808 / 80000 / 80000
+bytes), and micro-benchmarks the record-operation and query interfaces
+on that record type.
+"""
+
+import pytest
+
+from repro.bench.report import Table
+from repro.core.database import GBO
+from repro.core.schema import fluid_sample_schema
+from repro.core.types import UNKNOWN
+from repro.gen.structured_fluid import make_fluid_block_record
+
+
+def test_table1_schema(results_dir):
+    """Print Table 1 exactly as the paper lays it out."""
+    schema = fluid_sample_schema()
+    table = Table(
+        title="Table 1 — sample field types in the fluid record type",
+        headers=("field name", "data type", "buffer size"),
+    )
+    for field in schema.fields:
+        size = "UNKNOWN" if field.size is UNKNOWN else field.size
+        table.add(field.name, field.data_type.name, size)
+    table.note("keys: " + ", ".join(schema.key_names))
+    table.emit(results_dir)
+    assert [f.name for f in schema.fields][:2] == [
+        "block id", "time-step id"
+    ]
+
+
+def test_figure2_record_instance(results_dir):
+    """Build the Figure 2 record and report its exact buffer sizes."""
+    with GBO(mem_mb=16) as gbo:
+        record = make_fluid_block_record(gbo, block_index=1, t=25e-6)
+        table = Table(
+            title="Figure 2 — record instance buffer sizes",
+            headers=("field", "size (bytes)", "paper"),
+        )
+        expected = {
+            "block id": 11,
+            "time-step id": 9,
+            "x coordinates": 808,
+            "y coordinates": 808,
+            "pressure": 80_000,
+            "temperature": 80_000,
+        }
+        for name, paper_size in expected.items():
+            measured = record.field(name).size
+            table.add(name, measured, paper_size)
+            assert measured == paper_size
+        table.emit(results_dir)
+
+
+def test_bench_record_creation(benchmark):
+    """Record-operation throughput: create+fill+commit+delete cycle.
+
+    Deleting inside the cycle keeps memory flat no matter how many
+    iterations the benchmark harness chooses to run.
+    """
+    with GBO(mem_mb=256) as gbo:
+        counter = {"i": 0}
+
+        def cycle():
+            counter["i"] += 1
+            record = make_fluid_block_record(
+                gbo, block_index=counter["i"], t=25e-6
+            )
+            gbo.delete_record(record)
+
+        benchmark(cycle)
+
+
+def test_bench_key_query(benchmark):
+    """getFieldBuffer key-lookup latency on a 500-record database."""
+    with GBO(mem_mb=512) as gbo:
+        for index in range(1, 501):
+            make_fluid_block_record(gbo, block_index=index, t=25e-6)
+        keys = [b"block_0250$", b"0.000025$"]
+
+        result = benchmark(
+            lambda: gbo.get_field_buffer("fluid", "pressure", keys)
+        )
+        assert len(result) == 10_000

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets are generated once per machine into ``benchmarks/.data`` and
+reused across runs; result tables land in ``benchmarks/results``.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.workloads import ensure_dataset
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DATA_ROOT = os.path.join(HERE, ".data")
+RESULTS_DIR = os.path.join(HERE, "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def paper_scale_snapshot():
+    """One full-paper-scale snapshot (120 blocks, ~680k tets, ~45 MB):
+    enough to trace the real pipeline's I/O exactly."""
+    return ensure_dataset(DATA_ROOT, scale=1.0, n_steps=1,
+                          files_per_snapshot=8)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """A mid-size multi-snapshot dataset for end-to-end runs."""
+    return ensure_dataset(DATA_ROOT, scale=0.25, n_steps=8,
+                          files_per_snapshot=4)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Batch movie rendering: the Voyager use case.
+
+Generates a small synthetic rocket-propellant dataset (the GENx
+substitute), then runs the multi-thread GODIVA Voyager build over every
+time step, rendering one PPM frame per snapshot — "the visualization
+program will go through these files and automatically generate a series
+of images, often for animation" (section 1).
+
+Run:  python examples/batch_movie.py [output-dir]
+"""
+
+import sys
+import tempfile
+
+from repro.gen.snapshot import SnapshotSpec, generate_dataset
+from repro.gen.titan import TitanConfig
+from repro.viz.voyager import Voyager, VoyagerConfig
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="godiva-movie-"
+    )
+    data_dir = tempfile.mkdtemp(prefix="godiva-data-")
+
+    print("generating dataset (12 blocks, 8 snapshots) ...")
+    spec = SnapshotSpec(
+        config=TitanConfig.scaled(0.3),
+        n_steps=8,
+        files_per_snapshot=4,
+    )
+    generate_dataset(spec, data_dir)
+
+    print("rendering with the multi-thread GODIVA Voyager (TG) ...")
+    config = VoyagerConfig(
+        data_dir=data_dir,
+        test="complex",        # stacked stress isosurfaces + cut planes
+        mode="TG",
+        mem_mb=128.0,
+        out_dir=out_dir,
+        render=True,
+    )
+    result = Voyager(config).run()
+
+    print(
+        f"\nrendered {len(result.images)} frames "
+        f"({result.triangles:,d} triangles total)\n"
+        f"  total wall time  : {result.total_wall_s:.2f} s\n"
+        f"  visible I/O time : {result.visible_io_wall_s:.3f} s "
+        f"(prefetch hid the rest)\n"
+        f"  bytes read       : {result.bytes_read:,d}\n"
+        f"  units prefetched : {result.gbo_stats['units_prefetched']:.0f}"
+    )
+    print(f"\nframes written to {out_dir}/ (binary PPM, e.g. feh/GIMP)")
+    for path in result.images[:3]:
+        print(f"  {path}")
+    if len(result.images) > 3:
+        print(f"  ... and {len(result.images) - 3} more")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Fluid quick-look: the Table 1 dataset family, animated.
+
+Generates the paper's fluid dataset (2-D structured mesh blocks with
+element-based pressure/temperature, the exact Table 1 schema), registers
+each time step as a GODIVA processing unit, prefetches them in order,
+and renders a quick-look frame per step straight from the
+database-managed buffers.
+
+Run:  python examples/fluid_quicklook.py
+"""
+
+import tempfile
+
+from repro import GBO
+from repro.gen.snapshot import block_key, timestep_id
+from repro.gen.structured_fluid import (
+    generate_fluid_dataset,
+    make_fluid_read_fn,
+)
+from repro.io.disk import ENGLE_DISK, IoStats
+from repro.viz.fluid2d import render_from_gbo
+from repro.viz.image import write_ppm
+
+
+def main() -> None:
+    data_dir = tempfile.mkdtemp(prefix="godiva-fluid-")
+    out_dir = tempfile.mkdtemp(prefix="godiva-fluid-frames-")
+    n_blocks, n_steps, dt = 4, 6, 25e-6
+
+    print(f"writing {n_steps} fluid time steps x {n_blocks} blocks ...")
+    paths = generate_fluid_dataset(
+        data_dir, n_blocks=n_blocks, n_steps=n_steps, dt=dt
+    )
+
+    stats = IoStats()
+    read_fn = make_fluid_read_fn(stats=stats, profile=ENGLE_DISK)
+    with GBO(mem_mb=64) as godiva:
+        for path in paths:           # batch mode: announce everything
+            godiva.add_unit(path, read_fn)
+        for step, path in enumerate(paths):
+            godiva.wait_unit(path)
+            t = (step + 1) * dt
+            keys = [
+                (block_key(f"block_{i:04d}").encode(),
+                 timestep_id(t).encode())
+                for i in range(1, n_blocks + 1)
+            ]
+            image = render_from_gbo(
+                godiva, keys, field="pressure",
+                width=480, height=160, colormap="coolwarm",
+                vmin=6e4, vmax=1.3e5,
+            )
+            frame = f"{out_dir}/pressure_{step:04d}.ppm"
+            write_ppm(frame, image)
+            godiva.delete_unit(path)
+        prefetched = godiva.stats.units_prefetched
+    print(
+        f"rendered {n_steps} frames to {out_dir}/\n"
+        f"  units prefetched in background: {prefetched}\n"
+        f"  bytes read: {stats.snapshot()['bytes_read']:,.0f}, "
+        f"virtual I/O: {stats.snapshot()['virtual_seconds']:.2f} s"
+    )
+
+
+if __name__ == "__main__":
+    main()

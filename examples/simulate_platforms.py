@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Replay the paper's Figure 3 on the simulated Engle and Turing.
+
+Traces the real visualization pipeline's I/O over a paper-scale snapshot
+(120 blocks, ~680 k tets), then replays 32 snapshots on the two simulated
+platforms to show where GODIVA's benefit comes from: redundant-read
+elimination everywhere, plus near-total I/O hiding once a second CPU
+frees the background I/O thread.
+
+Run:  python examples/simulate_platforms.py [--quick]
+"""
+
+import sys
+import tempfile
+
+from repro.bench.figure3 import (
+    PAPER_ENGLE,
+    PAPER_TURING,
+    derived_metrics_table,
+    panel_table,
+    run_figure3_panel,
+    trace_all_workloads,
+)
+from repro.gen.snapshot import SnapshotSpec, generate_dataset
+from repro.gen.titan import TitanConfig
+from repro.simulate import ENGLE, TURING
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    scale = 0.4 if quick else 1.0
+    data_dir = tempfile.mkdtemp(prefix="godiva-fig3-")
+    print(f"generating one scale-{scale:g} snapshot for I/O tracing ...")
+    generate_dataset(
+        SnapshotSpec(
+            config=TitanConfig.scaled(scale),
+            n_steps=1,
+            files_per_snapshot=8,
+        ),
+        data_dir,
+    )
+    print("tracing the real pipeline (O and G builds) ...")
+    workloads = trace_all_workloads(data_dir, n_snapshots=32)
+
+    seeds = (0, 1) if quick else (0, 1, 2, 3, 4)
+    for machine, paper in ((ENGLE, PAPER_ENGLE), (TURING, PAPER_TURING)):
+        print(f"simulating {machine.name} "
+              f"({machine.n_cpus} CPU{'s' if machine.n_cpus > 1 else ''}) ...")
+        panel = run_figure3_panel(machine, workloads, seeds=seeds)
+        print(panel_table(
+            panel, f"Figure 3 — Voyager running time on {machine.name}"
+        ).render())
+        print(derived_metrics_table(
+            panel, f"Derived metrics on {machine.name} (vs paper)",
+            paper=paper,
+        ).render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

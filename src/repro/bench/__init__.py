@@ -1,0 +1,11 @@
+"""Benchmark harness: experiment orchestration and reporting.
+
+Each module regenerates one of the paper's evaluation artifacts (see the
+experiment index in DESIGN.md); the ``benchmarks/`` pytest-benchmark
+suite drives these and writes the result tables.
+"""
+
+from repro.bench.report import Table, format_table, mean_ci95
+from repro.bench.workloads import ensure_dataset
+
+__all__ = ["Table", "format_table", "mean_ci95", "ensure_dataset"]

@@ -1,0 +1,182 @@
+"""Figure 3 reproduction: Voyager running time on Engle and Turing.
+
+Figure 3 plots, for each visualization test (simple/medium/complex) and
+each Voyager build, the total execution time split into computation time
+and visible I/O time:
+
+* Figure 3(a), Engle (one CPU): bars O, G, TG;
+* Figure 3(b), a Turing node (two CPUs): bars O, G, TG1 (with a
+  competing compute-bound job), TG2 (Voyager alone).
+
+The harness traces the real pipeline's I/O over a paper-scale snapshot,
+replays 32 snapshots on the simulated machines (five seeded runs, like
+the paper's five-run averages), and reports both the bar values and the
+in-text derived metrics (I/O time reduction, hidden fraction, overall
+input-cost reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.report import Table, mean_ci95
+from repro.simulate.machine import Machine
+from repro.simulate.runner import SimRunResult, simulate_voyager
+from repro.simulate.workload import TestWorkload, trace_workload
+
+TESTS = ("simple", "medium", "complex")
+
+#: Paper values for side-by-side reporting (section 4.2, in-text).
+PAPER_ENGLE = {
+    "io_time_reduction": {"simple": 0.176, "medium": 0.372,
+                          "complex": 0.201},
+    "hidden_fraction": {"simple": 0.247, "medium": 0.331,
+                        "complex": 0.378},
+    "overall_reduction": {"simple": 0.409, "medium": 0.605,
+                          "complex": 0.619},
+}
+PAPER_TURING = {
+    "io_time_reduction": {"simple": 0.160, "medium": 0.300,
+                          "complex": 0.107},
+    "hidden_fraction_range": (0.811, 0.908),
+    "overall_reduction_max": {"simple": 0.932, "medium": 0.903,
+                              "complex": 0.947},
+}
+
+
+@dataclass
+class VersionSeries:
+    """Five-run series for one (test, version) bar pair."""
+
+    total_s: List[float] = field(default_factory=list)
+    visible_io_s: List[float] = field(default_factory=list)
+
+    @property
+    def computation_s(self) -> List[float]:
+        return [t - v for t, v in zip(self.total_s, self.visible_io_s)]
+
+    def add(self, run: SimRunResult) -> None:
+        self.total_s.append(run.total_s)
+        self.visible_io_s.append(run.visible_io_s)
+
+
+@dataclass
+class Figure3Data:
+    """All bars of one Figure 3 panel."""
+
+    machine: str
+    #: (test, version) -> series; versions are O/G/TG on Engle and
+    #: O/G/TG1/TG2 on Turing.
+    series: Dict[Tuple[str, str], VersionSeries]
+
+    def mean_total(self, test: str, version: str) -> float:
+        return mean_ci95(self.series[(test, version)].total_s)[0]
+
+    def mean_visible(self, test: str, version: str) -> float:
+        return mean_ci95(self.series[(test, version)].visible_io_s)[0]
+
+
+def _versions_for(machine: Machine) -> Sequence[Tuple[str, str, bool]]:
+    """(version label, mode, competitor) triples for one panel."""
+    if machine.n_cpus == 1:
+        return (("O", "O", False), ("G", "G", False), ("TG", "TG", False))
+    return (
+        ("O", "O", False),
+        ("G", "G", False),
+        ("TG1", "TG", True),
+        ("TG2", "TG", False),
+    )
+
+
+def run_figure3_panel(
+    machine: Machine,
+    workloads: Dict[str, TestWorkload],
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    jitter: float = 0.15,
+    window_units: int = 12,
+) -> Figure3Data:
+    """Simulate every bar of one panel, ``len(seeds)`` runs each."""
+    series: Dict[Tuple[str, str], VersionSeries] = {}
+    for test in TESTS:
+        workload = workloads[test]
+        for label, mode, competitor in _versions_for(machine):
+            bucket = VersionSeries()
+            for seed in seeds:
+                bucket.add(simulate_voyager(
+                    machine, workload, mode,
+                    window_units=window_units,
+                    competitor=competitor,
+                    jitter=jitter,
+                    seed=seed,
+                ))
+            series[(test, label)] = bucket
+    return Figure3Data(machine=machine.name, series=series)
+
+
+def trace_all_workloads(data_dir: str, n_snapshots: int = 32
+                        ) -> Dict[str, TestWorkload]:
+    """Trace the three tests' I/O over a generated dataset."""
+    return {
+        test: trace_workload(data_dir, test, n_snapshots=n_snapshots)
+        for test in TESTS
+    }
+
+
+def panel_table(data: Figure3Data, title: str) -> Table:
+    """The bar values: computation and visible I/O time per version."""
+    table = Table(
+        title=title,
+        headers=("test", "version", "computation (s)",
+                 "visible I/O (s)", "total (s)", "±95% (s)"),
+    )
+    versions = sorted({v for (_t, v) in data.series})
+    order = ["O", "G", "TG", "TG1", "TG2"]
+    versions.sort(key=order.index)
+    for test in TESTS:
+        for version in versions:
+            bucket = data.series[(test, version)]
+            total_mean, total_ci = mean_ci95(bucket.total_s)
+            visible_mean, _ = mean_ci95(bucket.visible_io_s)
+            table.add(
+                test, version,
+                total_mean - visible_mean, visible_mean,
+                total_mean, total_ci,
+            )
+    return table
+
+
+def derived_metrics_table(data: Figure3Data, title: str,
+                          paper: Optional[dict] = None) -> Table:
+    """The in-text metrics: io-time reduction, hidden fraction, overall."""
+    has_tg12 = ("simple", "TG1") in data.series
+    tg_best = "TG2" if has_tg12 else "TG"
+    headers = ["test", "io_red O→G", "hidden frac", "overall red"]
+    if paper is not None:
+        headers += ["paper io_red", "paper hidden", "paper overall"]
+    table = Table(title=title, headers=headers)
+    for test in TESTS:
+        io_o = data.mean_visible(test, "O")
+        io_g = data.mean_visible(test, "G")
+        t_g = data.mean_total(test, "G")
+        t_tg = data.mean_total(test, tg_best)
+        t_o = data.mean_total(test, "O")
+        io_red = 1.0 - io_g / io_o
+        hidden = (t_g - t_tg) / io_g
+        overall = (t_o - t_tg) / io_o
+        row = [test, f"{io_red:.1%}", f"{hidden:.1%}", f"{overall:.1%}"]
+        if paper is not None:
+            row.append(f"{paper['io_time_reduction'][test]:.1%}")
+            if "hidden_fraction" in paper:
+                row.append(f"{paper['hidden_fraction'][test]:.1%}")
+            else:
+                lo, hi = paper["hidden_fraction_range"]
+                row.append(f"{lo:.1%}-{hi:.1%}")
+            if "overall_reduction" in paper:
+                row.append(f"{paper['overall_reduction'][test]:.1%}")
+            else:
+                row.append(
+                    f"≤{paper['overall_reduction_max'][test]:.1%}"
+                )
+        table.add(*row)
+    return table

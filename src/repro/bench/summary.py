@@ -1,0 +1,67 @@
+"""Summarize archived benchmark results.
+
+``python -m repro.bench.summary [results-dir]`` prints every table the
+benchmark suite archived (default: ``benchmarks/results``) in a stable
+order — the quickest way to review a full reproduction run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List, Optional, Sequence
+
+#: Preferred presentation order (prefix match on file names).
+_ORDER = (
+    "table_1", "figure_2", "n1_n2", "figure_3_a", "engle",
+    "figure_3_b", "turing", "p1", "p2", "a1", "a2", "a3", "a4", "a5",
+)
+
+
+def collect(results_dir: str) -> List[str]:
+    """Archived table files, in presentation order."""
+    try:
+        names = sorted(os.listdir(results_dir))
+    except FileNotFoundError:
+        return []
+    names = [n for n in names if n.endswith(".txt")]
+
+    def rank(name: str) -> tuple:
+        for index, prefix in enumerate(_ORDER):
+            if name.startswith(prefix):
+                return (index, name)
+        return (len(_ORDER), name)
+
+    return sorted(names, key=rank)
+
+
+def render_summary(results_dir: str) -> str:
+    """All archived tables concatenated, or a hint when none exist."""
+    names = collect(results_dir)
+    if not names:
+        return (
+            f"no archived results in {results_dir!r} — run "
+            f"`pytest benchmarks/ --benchmark-only` first"
+        )
+    parts = []
+    for name in names:
+        with open(os.path.join(results_dir, name)) as f:
+            parts.append(f.read().rstrip())
+    return "\n\n".join(parts)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Print every archived benchmark result table."
+    )
+    parser.add_argument(
+        "results_dir", nargs="?",
+        default=os.path.join("benchmarks", "results"),
+    )
+    args = parser.parse_args(argv)
+    print(render_summary(args.results_dir))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

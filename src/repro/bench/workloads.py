@@ -1,0 +1,45 @@
+"""Dataset management for the benchmark suite.
+
+Benchmarks need generated snapshot datasets at two scales: the paper
+scale (1.0 — 120 blocks, ~680 k tets, one snapshot is enough for I/O
+tracing) and a small scale for end-to-end runs. Datasets are generated
+once into a cache directory and reused across benchmark modules.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.gen.snapshot import (
+    DatasetManifest,
+    SnapshotSpec,
+    generate_dataset,
+    load_manifest,
+)
+from repro.gen.titan import TitanConfig
+
+
+def ensure_dataset(
+    root: str,
+    scale: float,
+    n_steps: int,
+    files_per_snapshot: int = 8,
+) -> DatasetManifest:
+    """Generate (or reuse) a dataset for the given parameters.
+
+    The dataset lives in ``root/scale<scale>_steps<n>`` and is only
+    regenerated when its manifest is missing or its parameters differ.
+    """
+    name = f"scale{scale:g}_steps{n_steps}_f{files_per_snapshot}"
+    directory = os.path.join(root, name)
+    manifest_path = os.path.join(directory, "manifest.json")
+    if os.path.exists(manifest_path):
+        manifest = load_manifest(directory)
+        if len(manifest.snapshots) == n_steps:
+            return manifest
+    spec = SnapshotSpec(
+        config=TitanConfig.scaled(scale),
+        n_steps=n_steps,
+        files_per_snapshot=files_per_snapshot,
+    )
+    return generate_dataset(spec, directory)

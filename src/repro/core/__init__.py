@@ -1,0 +1,48 @@
+"""The GODIVA core: the paper's primary contribution.
+
+Exports the GBO database object, the type system, and the supporting
+pieces (units, policies, stats).
+"""
+
+from repro.core.cache import (
+    EvictionPolicy,
+    FifoEvictionPolicy,
+    LruEvictionPolicy,
+    MruEvictionPolicy,
+    make_policy,
+)
+from repro.core.database import GBO
+from repro.core.compat import PaperGBO, install_paper_aliases
+from repro.core.index import normalize_key_values
+from repro.core.memory import MB, RECORD_OVERHEAD_BYTES, MemoryAccountant
+from repro.core.record import FieldBuffer, Record
+from repro.core.stats import GodivaStats
+from repro.core.trace import UnitTimeline, UnitTracer
+from repro.core.types import UNKNOWN, DataType, FieldType, RecordType
+from repro.core.units import ProcessingUnit, UnitState
+
+__all__ = [
+    "GBO",
+    "PaperGBO",
+    "install_paper_aliases",
+    "DataType",
+    "FieldType",
+    "RecordType",
+    "UNKNOWN",
+    "FieldBuffer",
+    "Record",
+    "ProcessingUnit",
+    "UnitState",
+    "GodivaStats",
+    "UnitTracer",
+    "UnitTimeline",
+    "MemoryAccountant",
+    "MB",
+    "RECORD_OVERHEAD_BYTES",
+    "EvictionPolicy",
+    "LruEvictionPolicy",
+    "MruEvictionPolicy",
+    "FifoEvictionPolicy",
+    "make_policy",
+    "normalize_key_values",
+]

@@ -1,0 +1,45 @@
+"""CamelCase method aliases matching the paper's C++ API verbatim.
+
+The library's native surface is snake_case (Pythonic), but the paper names
+its interfaces ``defineField``, ``addUnit`` and so on; ports of existing
+Rocketeer-style code can keep those spellings by calling
+:func:`install_paper_aliases` once, or by using :class:`PaperGBO`.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import GBO
+
+#: paper name -> snake_case method (exactly the interfaces in Figure 1
+#: plus setMemSpace and the schema calls of section 3.1).
+PAPER_ALIASES = {
+    "defineField": "define_field",
+    "defineRecord": "define_record",
+    "insertField": "insert_field",
+    "commitRecordType": "commit_record_type",
+    "newRecord": "new_record",
+    "allocFieldBuffer": "alloc_field_buffer",
+    "commitRecord": "commit_record",
+    "getFieldBuffer": "get_field_buffer",
+    "getFieldBufferSize": "get_field_buffer_size",
+    "addUnit": "add_unit",
+    "readUnit": "read_unit",
+    "waitUnit": "wait_unit",
+    "finishUnit": "finish_unit",
+    "deleteUnit": "delete_unit",
+    "setMemSpace": "set_mem_space",
+}
+
+
+def install_paper_aliases(cls: type = GBO) -> type:
+    """Attach the paper's camelCase names as aliases on ``cls``."""
+    for paper_name, snake_name in PAPER_ALIASES.items():
+        if not hasattr(cls, paper_name):
+            setattr(cls, paper_name, getattr(cls, snake_name))
+    return cls
+
+
+@install_paper_aliases
+class PaperGBO(GBO):
+    """A :class:`~repro.core.database.GBO` whose methods also answer to the
+    paper's exact camelCase names (``godiva.addUnit(...)``)."""

@@ -1,0 +1,827 @@
+"""The GBO (GODIVA Buffer Object) — the in-memory GODIVA database.
+
+One GBO per process (section 3.3: "Each processor has its own database,
+which manages its local data"). It exposes the paper's three interface
+groups:
+
+* **record operations** — ``define_field``, ``define_record``,
+  ``insert_field``, ``commit_record_type``, ``new_record``,
+  ``alloc_field_buffer``, ``commit_record``;
+* **dataset queries** — ``get_field_buffer``, ``get_field_buffer_size``;
+* **background I/O** — ``add_unit``, ``read_unit``, ``wait_unit``,
+  ``finish_unit``, ``delete_unit``, ``set_mem_space``.
+
+The multi-thread build (``background_io=True``, the paper's *TG* library)
+runs a single background I/O thread that drains a FIFO prefetch queue and
+invokes developer-supplied read callbacks. The single-thread build
+(``background_io=False``, the paper's *G* library) keeps all record and
+query interfaces but performs each ``read_unit`` "inside the corresponding
+``wait_unit`` call" (section 4.2).
+
+Thread-safety: one lock/condition pair guards all state. Read callbacks run
+*without* the lock so they can call record operations re-entrantly. Public
+methods may be called from any thread except where documented.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cache import EvictionPolicy, make_policy
+from repro.core.index import RecordIndex, normalize_key_values
+from repro.core.memory import MB, RECORD_OVERHEAD_BYTES, MemoryAccountant
+from repro.core.record import FieldBuffer, Record
+from repro.core.stats import GodivaStats
+from repro.core.types import UNKNOWN, DataType, FieldType, RecordType
+from repro.core.units import ProcessingUnit, ReadFunction, UnitState
+from repro.errors import (
+    DatabaseClosedError,
+    GodivaDeadlockError,
+    MemoryBudgetError,
+    ReadFunctionError,
+    SchemaError,
+    UnitStateError,
+    UnknownTypeError,
+    UnknownUnitError,
+)
+
+
+class GBO:
+    """The GODIVA database object.
+
+    Parameters
+    ----------
+    mem_mb:
+        Maximum memory (in MB) the database may use for buffers, prefetching
+        and caching — the constructor parameter from the paper's sample code
+        (``new GBO(400)``).
+    mem_bytes:
+        Alternative byte-precise budget (mutually exclusive with ``mem_mb``).
+    background_io:
+        True (default) spawns the background I/O thread (the paper's
+        multi-thread *TG* library); False gives the single-thread *G*
+        library where ``wait_unit`` performs the read inline.
+    eviction_policy:
+        'lru' (paper default), 'fifo', or 'mru'.
+    clock:
+        Monotonic-seconds callable used for all timing statistics;
+        injectable for deterministic tests and the platform simulator.
+    unit_event_hook:
+        Optional observability callback ``hook(event, unit_name, now)``
+        invoked on every unit state transition (events: added, queued,
+        read_started, loaded, finished, evicted, deleted, failed).
+        Called with the database lock held — the hook must be cheap and
+        must not call back into the GBO. See
+        :class:`repro.core.trace.UnitTracer`.
+    """
+
+    def __init__(
+        self,
+        mem_mb: Optional[float] = None,
+        *,
+        mem_bytes: Optional[int] = None,
+        background_io: bool = True,
+        eviction_policy: str = "lru",
+        clock: Callable[[], float] = time.monotonic,
+        unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
+    ):
+        if (mem_mb is None) == (mem_bytes is None):
+            raise ValueError("specify exactly one of mem_mb or mem_bytes")
+        budget = int(mem_mb * MB) if mem_bytes is None else int(mem_bytes)
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._clock = clock
+
+        self._field_types: dict = {}
+        self._record_types: dict = {}
+        self._index = RecordIndex()
+        self._units: dict = {}
+        from repro.structures.fifoqueue import FifoQueue
+
+        self._queue = FifoQueue()
+        self._policy: EvictionPolicy = make_policy(eviction_policy)
+        self._memory = MemoryAccountant(budget)
+        self.stats = GodivaStats()
+
+        self._unit_event_hook = unit_event_hook
+        self._closing = False
+        self._closed = False
+        self._io_waiting_for_memory = False
+        self._io_memory_needed = 0
+        self._load_ctx = threading.local()
+
+        self._io_thread: Optional[threading.Thread] = None
+        if background_io:
+            self._io_thread = threading.Thread(
+                target=self._io_loop, name="godiva-io", daemon=True
+            )
+            self._io_thread.start()
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    @property
+    def background_io(self) -> bool:
+        return self._io_thread is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Terminate the I/O thread and free all buffers.
+
+        The paper ties this to GBO destruction ("the background I/O thread
+        is terminated when the GBO object is deleted"); in Python we expose
+        it explicitly and via the context-manager protocol.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closing = True
+            self._cond.notify_all()
+        if self._io_thread is not None:
+            self._io_thread.join()
+        with self._cond:
+            for record in self._index.clear():
+                record.release_all()
+            self._units.clear()
+            self._queue.clear()
+            while self._policy.victim() is not None:
+                pass
+            self._closed = True
+
+    def __enter__(self) -> "GBO":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closing or self._closed:
+            raise DatabaseClosedError("GBO has been closed")
+
+    # ==================================================================
+    # Memory
+    # ==================================================================
+    @property
+    def mem_budget_bytes(self) -> int:
+        with self._lock:
+            return self._memory.budget_bytes
+
+    @property
+    def mem_used_bytes(self) -> int:
+        with self._lock:
+            return self._memory.used_bytes
+
+    @property
+    def mem_high_water_bytes(self) -> int:
+        with self._lock:
+            return self._memory.high_water_bytes
+
+    def set_mem_space(self, mem_mb: Optional[float] = None,
+                      *, mem_bytes: Optional[int] = None) -> None:
+        """Adjust the memory budget at runtime (the paper's ``setMemSpace``).
+
+        Shrinking below current usage evicts finished units immediately;
+        if usage still exceeds the new budget, future allocations block (or
+        fail) until the application finishes/deletes units.
+        """
+        if (mem_mb is None) == (mem_bytes is None):
+            raise ValueError("specify exactly one of mem_mb or mem_bytes")
+        budget = int(mem_mb * MB) if mem_bytes is None else int(mem_bytes)
+        with self._cond:
+            self._check_open()
+            self._memory.set_budget(budget)
+            while self._memory.used_bytes > budget:
+                victim = self._policy.victim()
+                if victim is None:
+                    break
+                self._evict_locked(self._units[victim], deleting=False)
+            self._cond.notify_all()
+
+    def _emit(self, event: str, unit_name: str) -> None:
+        if self._unit_event_hook is not None:
+            self._unit_event_hook(event, unit_name, self._clock())
+
+    def _current_load_unit(self) -> Optional[str]:
+        return getattr(self._load_ctx, "unit_name", None)
+
+    def _charge_locked(self, nbytes: int) -> None:
+        """Charge ``nbytes``, evicting/blocking as needed. Lock held."""
+        if not self._memory.can_ever_fit(nbytes):
+            raise MemoryBudgetError(
+                f"allocation of {nbytes} bytes exceeds the total budget of "
+                f"{self._memory.budget_bytes} bytes"
+            )
+        on_io_thread = threading.current_thread() is self._io_thread
+        while not self._memory.fits(nbytes):
+            victim = self._policy.victim()
+            if victim is not None:
+                self._evict_locked(self._units[victim], deleting=False)
+                continue
+            if on_io_thread:
+                # Background prefetch outran the application; block until
+                # finish_unit/delete_unit frees memory (section 3.2: the
+                # I/O thread is "blocked for lack of memory space").
+                self._io_waiting_for_memory = True
+                self._io_memory_needed = nbytes
+                self._cond.notify_all()
+                t0 = self._clock()
+                self._cond.wait()
+                self.stats.io_thread_blocked_seconds += self._clock() - t0
+                self._io_waiting_for_memory = False
+                if self._closing:
+                    raise DatabaseClosedError("GBO closed during prefetch")
+                continue
+            raise MemoryBudgetError(
+                f"cannot allocate {nbytes} bytes: "
+                f"{self._memory.used_bytes}/{self._memory.budget_bytes} "
+                f"bytes in use and no finished unit is evictable — "
+                f"finish_unit/delete_unit processed units to free space"
+            )
+        self._memory.charge(nbytes)
+        self.stats.bytes_allocated += nbytes
+        unit_name = self._current_load_unit()
+        if unit_name is not None:
+            unit = self._units.get(unit_name)
+            if unit is not None:
+                unit.resident_bytes += nbytes
+
+    def _release_locked(self, nbytes: int,
+                        unit_name: Optional[str]) -> None:
+        self._memory.release(nbytes)
+        self.stats.bytes_released += nbytes
+        if unit_name is not None:
+            unit = self._units.get(unit_name)
+            if unit is not None:
+                unit.resident_bytes -= nbytes
+
+    # ==================================================================
+    # Record operations (schema)
+    # ==================================================================
+    def define_field(self, name: str, data_type: DataType,
+                     size=UNKNOWN) -> FieldType:
+        """Define (and name) a field type: name, data type, buffer size.
+
+        Identical redefinitions are idempotent — read callbacks run once
+        per unit and commonly re-issue their schema — but conflicting
+        redefinitions raise :class:`SchemaError`.
+        """
+        field_type = FieldType(name, data_type, size)
+        with self._lock:
+            self._check_open()
+            existing = self._field_types.get(name)
+            if existing is not None:
+                if existing != field_type:
+                    raise SchemaError(
+                        f"field type {name!r} redefined with a different "
+                        f"definition ({existing} vs {field_type})"
+                    )
+                return existing
+            self._field_types[name] = field_type
+            return field_type
+
+    def has_field_type(self, name: str) -> bool:
+        with self._lock:
+            return name in self._field_types
+
+    def field_type(self, name: str) -> FieldType:
+        with self._lock:
+            try:
+                return self._field_types[name]
+            except KeyError:
+                raise UnknownTypeError(
+                    f"field type {name!r} is not defined"
+                ) from None
+
+    def define_record(self, name: str, num_keys: int) -> RecordType:
+        """Start a new record type with ``num_keys`` declared key fields."""
+        with self._lock:
+            self._check_open()
+            if name in self._record_types:
+                raise SchemaError(
+                    f"record type {name!r} already defined; use "
+                    f"has_record_type() to guard re-entrant definitions"
+                )
+            record_type = RecordType(name, num_keys)
+            self._record_types[name] = record_type
+            return record_type
+
+    def has_record_type(self, name: str) -> bool:
+        with self._lock:
+            return name in self._record_types
+
+    def record_type(self, name: str) -> RecordType:
+        with self._lock:
+            return self._record_type_locked(name)
+
+    def _record_type_locked(self, name: str) -> RecordType:
+        try:
+            return self._record_types[name]
+        except KeyError:
+            raise UnknownTypeError(
+                f"record type {name!r} is not defined"
+            ) from None
+
+    def insert_field(self, record_type_name: str, field_name: str,
+                     is_key: bool) -> None:
+        """Add a predefined field type to a record type's field set."""
+        with self._lock:
+            self._check_open()
+            record_type = self._record_type_locked(record_type_name)
+            try:
+                field_type = self._field_types[field_name]
+            except KeyError:
+                raise UnknownTypeError(
+                    f"field type {field_name!r} is not defined"
+                ) from None
+            record_type.insert_field(field_type, is_key)
+
+    def commit_record_type(self, name: str) -> None:
+        """Conclude a record type definition; instances may now be made."""
+        with self._lock:
+            self._check_open()
+            self._record_type_locked(name).commit()
+
+    # ==================================================================
+    # Record operations (instances)
+    # ==================================================================
+    def new_record(self, record_type_name: str) -> Record:
+        """Create a record; known-size field buffers are allocated now.
+
+        Records created inside a read callback belong to that callback's
+        processing unit and are evicted with it; records created elsewhere
+        are unattached and live until deleted.
+        """
+        with self._cond:
+            self._check_open()
+            record_type = self._record_type_locked(record_type_name)
+            if not record_type.committed:
+                raise SchemaError(
+                    f"record type {record_type_name!r} is not committed"
+                )
+            upfront = record_type.fixed_size_bytes() + RECORD_OVERHEAD_BYTES
+            self._charge_locked(upfront)
+            record = Record(record_type)
+            self._index.track(record, self._current_load_unit())
+            return record
+
+    def alloc_field_buffer(self, record: Record, field_name: str,
+                           nbytes: int) -> FieldBuffer:
+        """Allocate an UNKNOWN-size field's buffer (size now known)."""
+        with self._cond:
+            self._check_open()
+            buf = record.field(field_name)
+            # Validate pre-conditions before charging so failures do not
+            # leak budget.
+            if buf.allocated or buf.field_type.has_known_size:
+                buf.allocate(nbytes)  # raises the precise error
+            self._charge_locked(nbytes)
+            try:
+                buf.allocate(nbytes)
+            except BaseException:
+                self._release_locked(nbytes, record.unit_name)
+                raise
+            return buf
+
+    def commit_record(self, record: Record) -> None:
+        """Insert the record into the index under its key-field values."""
+        with self._lock:
+            self._check_open()
+            self._index.commit(record)
+            self.stats.records_committed += 1
+
+    def delete_record(self, record: Record) -> None:
+        """Unindex a single record and free its buffers."""
+        with self._cond:
+            self._check_open()
+            unit_name = record.unit_name
+            self._index.drop_record(record)
+            freed = record.release_all() + RECORD_OVERHEAD_BYTES
+            self._release_locked(freed, unit_name)
+            self._cond.notify_all()
+
+    def record_count(self, record_type_name: Optional[str] = None) -> int:
+        with self._lock:
+            return self._index.count(record_type_name)
+
+    def records_of_type(self, record_type_name: str) -> List[Record]:
+        """All committed records of a type, ordered by key."""
+        with self._lock:
+            return list(self._index.records_of_type(record_type_name))
+
+    # ==================================================================
+    # Dataset queries
+    # ==================================================================
+    def get_record(self, record_type_name: str,
+                   key_values: Sequence) -> Record:
+        """Key lookup: the record identified by the key-value combination."""
+        key = normalize_key_values(key_values)
+        with self._lock:
+            self._check_open()
+            self.stats.queries += 1
+            record = self._index.lookup(record_type_name, key)
+            if record.unit_name is not None:
+                self._policy.touch(record.unit_name)
+            return record
+
+    def get_field_buffer(self, record_type_name: str, field_name: str,
+                         key_values: Sequence) -> np.ndarray:
+        """Return the live data buffer of ``field_name`` in the record
+        identified by ``key_values`` — a zero-copy numpy view, the Python
+        analogue of the paper's raw buffer pointer."""
+        return self.get_record(record_type_name, key_values).field(
+            field_name
+        ).as_array()
+
+    def get_field_buffer_size(self, record_type_name: str, field_name: str,
+                              key_values: Sequence) -> int:
+        """Like :meth:`get_field_buffer` but returns the size in bytes."""
+        return self.get_record(record_type_name, key_values).field(
+            field_name
+        ).size
+
+    def has_record(self, record_type_name: str,
+                   key_values: Sequence) -> bool:
+        key = normalize_key_values(key_values)
+        with self._lock:
+            return self._index.contains(record_type_name, key)
+
+    # ==================================================================
+    # Background I/O interfaces
+    # ==================================================================
+    def add_unit(self, name: str, read_fn: ReadFunction) -> None:
+        """Append a unit to the prefetch list (non-blocking).
+
+        In the multi-thread build the background I/O thread will load it
+        via ``read_fn(gbo, name)`` as memory allows; in the single-thread
+        build the read happens inside the eventual ``wait_unit``.
+        """
+        if read_fn is None:
+            raise ValueError("add_unit requires a read function")
+        with self._cond:
+            self._check_open()
+            unit = self._units.get(name)
+            if unit is not None and unit.state in (
+                UnitState.QUEUED, UnitState.READING, UnitState.RESIDENT
+            ):
+                raise UnitStateError(
+                    f"unit {name!r} is already {unit.state.value}"
+                )
+            # Fresh unit, or resurrection after eviction/failure/deletion.
+            unit = ProcessingUnit(name, read_fn)
+            self._units[name] = unit
+            self._queue.push(name)
+            self.stats.units_added += 1
+            self._emit("added", name)
+            self._cond.notify_all()
+
+    def read_unit(self, name: str,
+                  read_fn: Optional[ReadFunction] = None) -> None:
+        """Explicitly read a unit into the database, blocking the caller.
+
+        This is the interactive-mode path (section 3.2): foreground
+        blocking I/O when future accesses cannot be predicted. If the unit
+        is already resident this is a cache hit; if the background thread
+        is mid-read we wait for it; otherwise the read callback runs on the
+        calling thread. Must not be called from inside a read callback.
+        """
+        with self._cond:
+            self._check_open()
+            unit = self._units.get(name)
+            if unit is None:
+                if read_fn is None:
+                    raise UnknownUnitError(
+                        f"unit {name!r} is unknown and no read function "
+                        f"was supplied"
+                    )
+                unit = ProcessingUnit(name, read_fn)
+                self._units[name] = unit
+                self.stats.units_added += 1
+            elif read_fn is not None:
+                unit.read_fn = read_fn
+
+            if unit.state is UnitState.RESIDENT:
+                self.stats.wait_hits += 1
+                unit.ref_count += 1
+                self._policy.remove(name)
+                return
+            if unit.state is UnitState.READING:
+                # Background thread has it; fall back to waiting.
+                self.stats.wait_misses += 1
+                self._wait_until_resident_locked(unit)
+                return
+            if unit.state is UnitState.QUEUED:
+                self._queue.remove(name)
+            if unit.read_fn is None:
+                raise UnknownUnitError(
+                    f"unit {name!r} has no read function to reload with"
+                )
+            unit.state = UnitState.READING
+            self.stats.wait_misses += 1
+            read_callable = unit.read_fn
+        self._run_read(name, read_callable, foreground=True)
+        with self._cond:
+            unit = self._units[name]
+            if unit.state is UnitState.FAILED:
+                raise ReadFunctionError(
+                    f"read function for unit {name!r} failed"
+                ) from unit.error
+            unit.ref_count += 1
+
+    def wait_unit(self, name: str) -> None:
+        """Block until the named unit is resident in the database.
+
+        Resident on entry is a cache hit. An evicted unit is transparently
+        re-queued for prefetch (multi-thread) or re-read inline
+        (single-thread). Detects the paper's deadlock: waiting for a unit
+        while the I/O thread is blocked on memory with nothing evictable.
+        """
+        with self._cond:
+            self._check_open()
+            unit = self._units.get(name)
+            if unit is None:
+                raise UnknownUnitError(f"unit {name!r} was never added")
+            if unit.state is UnitState.RESIDENT:
+                self.stats.wait_hits += 1
+                unit.ref_count += 1
+                self._policy.remove(name)
+                return
+            if unit.state is UnitState.DELETED:
+                raise UnitStateError(f"unit {name!r} was deleted")
+            self.stats.wait_misses += 1
+
+            if self._io_thread is None:
+                # Single-thread build: the read happens inside wait_unit
+                # (the paper's G library, section 4.2).
+                if unit.state is UnitState.QUEUED:
+                    self._queue.remove(name)
+                if unit.read_fn is None:
+                    raise UnknownUnitError(
+                        f"unit {name!r} has no read function"
+                    )
+                unit.state = UnitState.READING
+                read_callable = unit.read_fn
+            else:
+                self._wait_until_resident_locked(unit)
+                return
+        # Single-thread inline read, outside the lock.
+        self._run_read(name, read_callable, foreground=True)
+        with self._cond:
+            unit = self._units[name]
+            if unit.state is UnitState.FAILED:
+                raise ReadFunctionError(
+                    f"read function for unit {name!r} failed"
+                ) from unit.error
+            unit.ref_count += 1
+
+    def _wait_until_resident_locked(self, unit: ProcessingUnit) -> None:
+        """Multi-thread wait loop with deadlock detection. Lock held."""
+        t0 = self._clock()
+        try:
+            while True:
+                if unit.state is UnitState.RESIDENT:
+                    unit.ref_count += 1
+                    self._policy.remove(unit.name)
+                    return
+                if unit.state is UnitState.FAILED:
+                    raise ReadFunctionError(
+                        f"read function for unit {unit.name!r} failed"
+                    ) from unit.error
+                if unit.state is UnitState.DELETED:
+                    raise UnitStateError(
+                        f"unit {unit.name!r} was deleted while being "
+                        f"waited for"
+                    )
+                if unit.state is UnitState.EVICTED:
+                    # Transparent re-fetch after cache eviction.
+                    if unit.read_fn is None:
+                        raise UnknownUnitError(
+                            f"unit {unit.name!r} was evicted and has no "
+                            f"read function to reload with"
+                        )
+                    unit.state = UnitState.QUEUED
+                    unit.finished = False
+                    self._queue.push(unit.name)
+                    self._cond.notify_all()
+                if (
+                    self._io_waiting_for_memory
+                    and len(self._policy) == 0
+                    and not self._memory.fits(self._io_memory_needed)
+                ):
+                    raise GodivaDeadlockError(
+                        f"waiting for unit {unit.name!r} but the I/O "
+                        f"thread is blocked on memory "
+                        f"({self._memory.used_bytes}/"
+                        f"{self._memory.budget_bytes} bytes used) and no "
+                        f"unit is evictable — the application must "
+                        f"finish_unit/delete_unit processed units"
+                    )
+                self._check_open()
+                self._cond.wait(timeout=0.5)
+        finally:
+            self.stats.wait_seconds += self._clock() - t0
+
+    def finish_unit(self, name: str) -> None:
+        """Declare processing of the unit complete; it becomes evictable
+        once all references are released (section 3.2: the database "may
+        feel free to evict all its records")."""
+        with self._cond:
+            self._check_open()
+            unit = self._units.get(name)
+            if unit is None:
+                raise UnknownUnitError(f"unit {name!r} was never added")
+            if unit.state is not UnitState.RESIDENT:
+                raise UnitStateError(
+                    f"cannot finish unit {name!r} in state "
+                    f"{unit.state.value}"
+                )
+            unit.finished = True
+            if unit.ref_count > 0:
+                unit.ref_count -= 1
+            self._emit("finished", name)
+            if unit.evictable:
+                self._policy.add(name)
+                self._cond.notify_all()
+
+    def delete_unit(self, name: str) -> None:
+        """Explicitly delete the unit's records and free their memory."""
+        with self._cond:
+            self._check_open()
+            unit = self._units.get(name)
+            if unit is None:
+                raise UnknownUnitError(f"unit {name!r} was never added")
+            if unit.state is UnitState.DELETED:
+                return  # idempotent
+            if unit.state is UnitState.QUEUED:
+                self._queue.remove(name)
+                unit.state = UnitState.DELETED
+                self.stats.units_deleted += 1
+                self._emit("deleted", name)
+                return
+            if unit.state is UnitState.READING:
+                # The loader deletes it the moment the callback returns.
+                unit.pending_delete = True
+                return
+            if unit.state is UnitState.RESIDENT:
+                self._evict_locked(unit, deleting=True)
+            else:  # EVICTED or FAILED — nothing resident to free
+                unit.state = UnitState.DELETED
+                self._emit("deleted", name)
+            self.stats.units_deleted += 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Unit introspection
+    # ------------------------------------------------------------------
+    def unit_state(self, name: str) -> UnitState:
+        with self._lock:
+            unit = self._units.get(name)
+            if unit is None:
+                raise UnknownUnitError(f"unit {name!r} was never added")
+            return unit.state
+
+    def is_resident(self, name: str) -> bool:
+        with self._lock:
+            unit = self._units.get(name)
+            return unit is not None and unit.state is UnitState.RESIDENT
+
+    def list_units(self) -> List[Tuple[str, UnitState]]:
+        with self._lock:
+            return [(u.name, u.state) for u in self._units.values()]
+
+    def resident_bytes_of(self, name: str) -> int:
+        with self._lock:
+            unit = self._units.get(name)
+            if unit is None:
+                raise UnknownUnitError(f"unit {name!r} was never added")
+            return unit.resident_bytes
+
+    def memory_report(self) -> dict:
+        """Diagnostic snapshot of where the budget went.
+
+        Returns budget/used/peak plus per-unit resident byte counts and
+        the unattached remainder (records created outside any read
+        callback) — the bookkeeping a developer needs when sizing
+        ``set_mem_space`` for a new workload.
+        """
+        with self._lock:
+            per_unit = {
+                unit.name: unit.resident_bytes
+                for unit in self._units.values()
+                if unit.resident_bytes
+            }
+            used = self._memory.used_bytes
+            return {
+                "budget_bytes": self._memory.budget_bytes,
+                "used_bytes": used,
+                "high_water_bytes": self._memory.high_water_bytes,
+                "per_unit_bytes": per_unit,
+                "unattached_bytes": used - sum(per_unit.values()),
+                "evictable_units": list(self._policy),
+            }
+
+    # ==================================================================
+    # Internals
+    # ==================================================================
+    def _io_loop(self) -> None:
+        """Background I/O thread main loop: drain the FIFO prefetch queue."""
+        while True:
+            with self._cond:
+                while not self._closing and not self._queue:
+                    self._cond.wait()
+                if self._closing:
+                    return
+                name = self._queue.pop()
+                unit = self._units.get(name)
+                if unit is None or unit.state is not UnitState.QUEUED:
+                    continue  # cancelled while queued
+                unit.state = UnitState.READING
+                read_callable = unit.read_fn
+            try:
+                self._run_read(name, read_callable, foreground=False)
+            except DatabaseClosedError:
+                return
+
+    def _run_read(self, name: str, read_fn: ReadFunction,
+                  foreground: bool) -> None:
+        """Invoke a read callback (lock NOT held) and settle unit state."""
+        if self._unit_event_hook is not None:
+            with self._lock:
+                self._emit("read_started", name)
+        self._load_ctx.unit_name = name
+        t0 = self._clock()
+        error: Optional[BaseException] = None
+        try:
+            read_fn(self, name)
+        except DatabaseClosedError:
+            self._load_ctx.unit_name = None
+            raise
+        except BaseException as exc:
+            error = exc
+        finally:
+            self._load_ctx.unit_name = None
+        elapsed = self._clock() - t0
+
+        with self._cond:
+            unit = self._units.get(name)
+            if unit is None:
+                return
+            if foreground:
+                self.stats.foreground_read_seconds += elapsed
+            else:
+                self.stats.io_thread_read_seconds += elapsed
+            if error is not None:
+                self._free_unit_records_locked(unit)
+                unit.state = UnitState.FAILED
+                unit.error = error
+                self.stats.units_failed += 1
+                self._emit("failed", name)
+            else:
+                unit.loads += 1
+                if unit.loads > 1:
+                    self.stats.units_reloaded += 1
+                if foreground:
+                    self.stats.units_read_foreground += 1
+                else:
+                    self.stats.units_prefetched += 1
+                if unit.pending_delete:
+                    self._evict_locked(unit, deleting=True)
+                    self.stats.units_deleted += 1
+                else:
+                    unit.state = UnitState.RESIDENT
+                    unit.finished = False
+                    self._emit("loaded", name)
+            self._cond.notify_all()
+
+    def _free_unit_records_locked(self, unit: ProcessingUnit) -> None:
+        """Drop all of a unit's records and release their memory."""
+        records = self._index.drop_unit(unit.name)
+        freed = 0
+        for record in records:
+            freed += record.release_all() + RECORD_OVERHEAD_BYTES
+        if freed:
+            self._memory.release(freed)
+            self.stats.bytes_released += freed
+        unit.resident_bytes = 0
+
+    def _evict_locked(self, unit: ProcessingUnit, deleting: bool) -> None:
+        """Whole-unit eviction: remove every record, release memory."""
+        self._free_unit_records_locked(unit)
+        self._policy.remove(unit.name)
+        unit.finished = False
+        unit.ref_count = 0
+        if deleting:
+            unit.state = UnitState.DELETED
+            self._emit("deleted", unit.name)
+        else:
+            unit.state = UnitState.EVICTED
+            self.stats.evictions += 1
+            self._emit("evicted", unit.name)
+        self._cond.notify_all()

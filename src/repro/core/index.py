@@ -1,0 +1,166 @@
+"""The record index: key-field values -> record, one tree per record type.
+
+Section 3.3: "The records in the GODIVA database are organized in a C++ STL
+map, indexed with the key field values in a RB-tree." We use our own
+:class:`~repro.structures.rbtree.RedBlackTree` keyed on tuples of raw key
+bytes. A second index maps unit name -> records "so that when a unit is
+evicted from the cache, all of its records can be deleted efficiently."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.record import Record
+from repro.errors import DuplicateKeyError, KeyLookupError
+from repro.structures.rbtree import RedBlackTree
+
+KeyTuple = Tuple[bytes, ...]
+
+
+def normalize_key_values(values: Sequence) -> KeyTuple:
+    """Coerce caller-supplied key values to the index's byte-tuple form.
+
+    Accepts bytes, str (ASCII-encoded), or numpy arrays / memoryviews
+    (raw buffer bytes) — mirroring the paper's "array of pointers to
+    buffers holding key field values".
+    """
+    normalized: List[bytes] = []
+    for value in values:
+        if isinstance(value, bytes):
+            normalized.append(value)
+        elif isinstance(value, bytearray):
+            normalized.append(bytes(value))
+        elif isinstance(value, str):
+            normalized.append(value.encode("ascii"))
+        elif isinstance(value, memoryview):
+            normalized.append(value.tobytes())
+        else:
+            # numpy scalar/array or anything exposing the buffer protocol.
+            try:
+                normalized.append(bytes(memoryview(value)))
+            except TypeError:
+                raise TypeError(
+                    f"key value {value!r} is not bytes-like"
+                ) from None
+    return tuple(normalized)
+
+
+class RecordIndex:
+    """Key index (RB-tree per record type) + per-unit record lists."""
+
+    def __init__(self) -> None:
+        self._by_type: Dict[str, RedBlackTree] = {}
+        self._by_unit: Dict[str, List[Record]] = {}
+        #: Records not attributed to any unit (created outside a read
+        #: callback). They are only removed explicitly.
+        self._unattached: List[Record] = []
+
+    # ------------------------------------------------------------------
+    # Commit / lookup
+    # ------------------------------------------------------------------
+    def commit(self, record: Record) -> KeyTuple:
+        """Index ``record`` under its current key-field values."""
+        key = record.key_tuple()
+        tree = self._by_type.setdefault(
+            record.record_type.name, RedBlackTree()
+        )
+        if key in tree:
+            raise DuplicateKeyError(
+                f"record type {record.record_type.name!r} already has a "
+                f"record with key {key!r}"
+            )
+        tree.insert(key, record)
+        record.mark_committed(key)
+        return key
+
+    def track(self, record: Record, unit_name: Optional[str]) -> None:
+        """Attach an (indexed or not) record to its owning unit's list."""
+        record.unit_name = unit_name
+        if unit_name is None:
+            self._unattached.append(record)
+        else:
+            self._by_unit.setdefault(unit_name, []).append(record)
+
+    def lookup(self, type_name: str, key: KeyTuple) -> Record:
+        tree = self._by_type.get(type_name)
+        record = tree.find(key) if tree is not None else None
+        if record is None:
+            raise KeyLookupError(
+                f"no record of type {type_name!r} with key {key!r}"
+            )
+        return record
+
+    def contains(self, type_name: str, key: KeyTuple) -> bool:
+        tree = self._by_type.get(type_name)
+        return tree is not None and key in tree
+
+    def records_of_type(self, type_name: str) -> Iterator[Record]:
+        """All committed records of one type, in key order."""
+        tree = self._by_type.get(type_name)
+        if tree is None:
+            return
+        yield from tree.values()
+
+    def count(self, type_name: Optional[str] = None) -> int:
+        """Number of committed records (optionally of one type)."""
+        if type_name is not None:
+            tree = self._by_type.get(type_name)
+            return len(tree) if tree is not None else 0
+        return sum(len(tree) for tree in self._by_type.values())
+
+    # ------------------------------------------------------------------
+    # Unit-level removal
+    # ------------------------------------------------------------------
+    def unit_records(self, unit_name: str) -> List[Record]:
+        return list(self._by_unit.get(unit_name, ()))
+
+    def drop_unit(self, unit_name: str) -> List[Record]:
+        """Unindex and return every record belonging to ``unit_name``.
+
+        This is the whole-unit eviction path; the caller releases the
+        records' buffers and memory charge.
+        """
+        records = self._by_unit.pop(unit_name, [])
+        for record in records:
+            self._unindex(record)
+        return records
+
+    def drop_record(self, record: Record) -> None:
+        """Remove a single record from all indexes."""
+        self._unindex(record)
+        if record.unit_name is None:
+            try:
+                self._unattached.remove(record)
+            except ValueError:
+                pass
+        else:
+            bucket = self._by_unit.get(record.unit_name)
+            if bucket is not None:
+                try:
+                    bucket.remove(record)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del self._by_unit[record.unit_name]
+
+    def _unindex(self, record: Record) -> None:
+        if record.committed and record.committed_key is not None:
+            tree = self._by_type.get(record.record_type.name)
+            if tree is not None:
+                # The tree entry may already map to a different record if
+                # the application mutated key buffers (paper's caveat); only
+                # delete when it is really this record.
+                if tree.find(record.committed_key) is record:
+                    tree.delete(record.committed_key)
+
+    def clear(self) -> List[Record]:
+        """Drop everything; returns all records for buffer release."""
+        records: List[Record] = []
+        for bucket in self._by_unit.values():
+            records.extend(bucket)
+        records.extend(self._unattached)
+        self._by_type.clear()
+        self._by_unit.clear()
+        self._unattached.clear()
+        return records

@@ -1,0 +1,91 @@
+"""Memory accounting for the GODIVA database.
+
+The application sets "the maximum memory space to be used by the GODIVA
+database" at creation time and may adjust it with ``setMemSpace``
+(section 3.2). Every field-buffer allocation is charged here, plus a small
+fixed per-record overhead for the indexing system ("minus a small overhead
+for the record indexing system").
+
+This class only does arithmetic — blocking and eviction policy live in the
+database, which owns the lock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryBudgetError
+
+#: Bytes charged per record for index bookkeeping (tree node, unit list
+#: entry, record object). A deliberate, documented approximation.
+RECORD_OVERHEAD_BYTES = 64
+
+MB = 1024 * 1024
+
+
+class MemoryAccountant:
+    """Tracks the configured budget and the bytes currently charged."""
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes <= 0:
+            raise MemoryBudgetError("memory budget must be positive")
+        self._budget = int(budget_bytes)
+        self._used = 0
+        self._high_water = 0
+
+    @property
+    def budget_bytes(self) -> int:
+        return self._budget
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def available_bytes(self) -> int:
+        return self._budget - self._used
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Peak usage observed — useful for sizing budgets in benchmarks."""
+        return self._high_water
+
+    def fits(self, nbytes: int) -> bool:
+        return self._used + nbytes <= self._budget
+
+    def can_ever_fit(self, nbytes: int) -> bool:
+        """Whether an allocation could succeed even with an empty database."""
+        return nbytes <= self._budget
+
+    def charge(self, nbytes: int) -> None:
+        """Record an allocation. The caller must have ensured it fits (or
+        deliberately over-commits, e.g. when shrinking the budget at
+        runtime cannot immediately evict)."""
+        if nbytes < 0:
+            raise ValueError("cannot charge negative bytes")
+        self._used += nbytes
+        if self._used > self._high_water:
+            self._high_water = self._used
+
+    def release(self, nbytes: int) -> None:
+        """Return bytes to the pool."""
+        if nbytes < 0:
+            raise ValueError("cannot release negative bytes")
+        if nbytes > self._used:
+            raise MemoryBudgetError(
+                f"releasing {nbytes} bytes but only {self._used} charged — "
+                f"accounting bug"
+            )
+        self._used -= nbytes
+
+    def set_budget(self, budget_bytes: int) -> None:
+        """Adjust the budget (``setMemSpace``). Usage may temporarily
+        exceed a shrunken budget; the database evicts what it can and new
+        allocations block until usage drops."""
+        if budget_bytes <= 0:
+            raise MemoryBudgetError("memory budget must be positive")
+        self._budget = int(budget_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryAccountant(used={self._used}/{self._budget} bytes, "
+            f"peak={self._high_water})"
+        )

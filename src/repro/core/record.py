@@ -1,0 +1,212 @@
+"""Records and field buffers — the GODIVA database's payload objects.
+
+A record is "a set of developer-defined fields", each field "composed of an
+integer storing the data size and a pointer to a data buffer" (section 3.1,
+Figure 2). GODIVA manages buffer *locations*, never interpreting contents;
+the visualization code accesses the buffers directly. Here a buffer is a
+``bytearray`` exposed through zero-copy numpy views, which is the closest
+Python analogue of handing out a raw pointer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import UNKNOWN, FieldType, RecordType
+from repro.errors import RecordStateError, SchemaError
+
+
+class FieldBuffer:
+    """One field's ``(size, buffer)`` pair.
+
+    The buffer is allocated either eagerly (known-size field types, at
+    record creation) or explicitly via ``alloc_field_buffer``. Until then
+    :attr:`allocated` is False and accessors raise.
+    """
+
+    __slots__ = ("field_type", "_data")
+
+    def __init__(self, field_type: FieldType):
+        self.field_type = field_type
+        self._data: Optional[bytearray] = None
+        if field_type.has_known_size:
+            self._data = bytearray(field_type.size)
+
+    @property
+    def allocated(self) -> bool:
+        return self._data is not None
+
+    @property
+    def size(self) -> int:
+        """Buffer size in bytes (the paper's per-field size integer)."""
+        if self._data is None:
+            raise RecordStateError(
+                f"field {self.field_type.name!r}: buffer not allocated"
+            )
+        return len(self._data)
+
+    def allocate(self, nbytes: int) -> None:
+        """Explicitly allocate an UNKNOWN-size field's buffer."""
+        if self.field_type.has_known_size:
+            raise RecordStateError(
+                f"field {self.field_type.name!r} has a fixed size "
+                f"({self.field_type.size}); it was allocated at record "
+                f"creation"
+            )
+        if self._data is not None:
+            raise RecordStateError(
+                f"field {self.field_type.name!r}: buffer already allocated"
+            )
+        if nbytes < 0:
+            raise ValueError("buffer size must be non-negative")
+        if nbytes % self.field_type.data_type.itemsize != 0:
+            raise SchemaError(
+                f"field {self.field_type.name!r}: {nbytes} bytes is not a "
+                f"multiple of the {self.field_type.data_type.name} item "
+                f"size {self.field_type.data_type.itemsize}"
+            )
+        self._data = bytearray(nbytes)
+
+    def release(self) -> int:
+        """Drop the buffer, returning the number of bytes freed."""
+        if self._data is None:
+            return 0
+        freed = len(self._data)
+        self._data = None
+        return freed
+
+    # ------------------------------------------------------------------
+    # Buffer access — the "query a dataset's buffer location" side.
+    # ------------------------------------------------------------------
+    def as_array(self) -> np.ndarray:
+        """Zero-copy numpy view of the buffer in the field's dtype.
+
+        This is the Python analogue of the raw pointer ``getFieldBuffer``
+        returns: writes through the view mutate the stored data.
+        """
+        if self._data is None:
+            raise RecordStateError(
+                f"field {self.field_type.name!r}: buffer not allocated"
+            )
+        return np.frombuffer(
+            memoryview(self._data), dtype=self.field_type.data_type.numpy_dtype
+        )
+
+    def as_bytes(self) -> bytes:
+        """Immutable copy of the buffer contents (used for key values)."""
+        if self._data is None:
+            raise RecordStateError(
+                f"field {self.field_type.name!r}: buffer not allocated"
+            )
+        return bytes(self._data)
+
+    def write(self, data) -> None:
+        """Copy ``data`` (bytes-like or ndarray) into the buffer.
+
+        The source must exactly fill the buffer; partial writes would leave
+        silent garbage, which the library refuses even though the paper
+        leaves integrity to the application.
+        """
+        if self._data is None:
+            raise RecordStateError(
+                f"field {self.field_type.name!r}: buffer not allocated"
+            )
+        if isinstance(data, np.ndarray):
+            data = np.ascontiguousarray(
+                data, dtype=self.field_type.data_type.numpy_dtype
+            ).tobytes()
+        elif isinstance(data, str):
+            data = data.encode("ascii")
+        if len(data) != len(self._data):
+            raise ValueError(
+                f"field {self.field_type.name!r}: write of {len(data)} "
+                f"bytes into a {len(self._data)}-byte buffer"
+            )
+        self._data[:] = data
+
+    def __repr__(self) -> str:
+        size = len(self._data) if self._data is not None else UNKNOWN
+        return f"FieldBuffer({self.field_type.name!r}, size={size!r})"
+
+
+class Record:
+    """A record instance: one :class:`FieldBuffer` per field of its type.
+
+    Lifecycle: created by ``new_record`` (key and known-size buffers
+    allocated), optionally ``alloc_field_buffer`` for UNKNOWN-size fields,
+    then ``commit_record`` snapshots the key-field bytes into the index.
+    """
+
+    __slots__ = ("record_type", "_buffers", "committed", "unit_name", "_key")
+
+    def __init__(self, record_type: RecordType):
+        if not record_type.committed:
+            raise SchemaError(
+                f"record type {record_type.name!r} is not committed; "
+                f"call commit_record_type first"
+            )
+        self.record_type = record_type
+        self._buffers: Dict[str, FieldBuffer] = {
+            name: FieldBuffer(record_type.field(name))
+            for name in record_type.field_names
+        }
+        self.committed = False
+        #: Name of the processing unit that owns this record, if any.
+        self.unit_name: Optional[str] = None
+        self._key: Optional[Tuple[bytes, ...]] = None
+
+    def field(self, name: str) -> FieldBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise SchemaError(
+                f"record type {self.record_type.name!r} has no field "
+                f"{name!r}"
+            ) from None
+
+    def allocated_bytes(self) -> int:
+        """Total bytes currently held by this record's buffers."""
+        return sum(
+            len(buf._data) for buf in self._buffers.values()
+            if buf._data is not None
+        )
+
+    def key_tuple(self) -> Tuple[bytes, ...]:
+        """Current key-field buffer contents as an index key.
+
+        Requires every key buffer to be allocated. Note the paper's caveat:
+        the key is *snapshotted at commit time*; mutating key buffers later
+        desynchronizes the index (section 3.3), and this library likewise
+        does not guard against it.
+        """
+        values = []
+        for name in self.record_type.key_field_names:
+            buf = self._buffers[name]
+            if not buf.allocated:
+                raise RecordStateError(
+                    f"key field {name!r} is not allocated; cannot form key"
+                )
+            values.append(buf.as_bytes())
+        return tuple(values)
+
+    @property
+    def committed_key(self) -> Optional[Tuple[bytes, ...]]:
+        """The key under which this record was indexed, if committed."""
+        return self._key
+
+    def mark_committed(self, key: Tuple[bytes, ...]) -> None:
+        self.committed = True
+        self._key = key
+
+    def release_all(self) -> int:
+        """Free every buffer; returns total bytes released."""
+        return sum(buf.release() for buf in self._buffers.values())
+
+    def __repr__(self) -> str:
+        state = "committed" if self.committed else "uncommitted"
+        return (
+            f"Record({self.record_type.name!r}, {state}, "
+            f"bytes={self.allocated_bytes()})"
+        )

@@ -1,0 +1,64 @@
+"""Runtime statistics collected by the GODIVA database.
+
+The paper's evaluation separates *visible I/O time* (blocking reads plus
+time spent waiting for units) from computation time, and reports I/O volume
+reductions from buffer reuse. The GBO tracks exactly those quantities so the
+benchmark harness and the N1/N2 experiments can read them off directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class GodivaStats:
+    """Counters and timers, all mutated under the GBO lock.
+
+    Times are in seconds of the GBO's injected clock (wall time by default,
+    virtual time under the platform simulator's clock).
+    """
+
+    # --- unit traffic ------------------------------------------------
+    units_added: int = 0
+    units_prefetched: int = 0          # loaded by the background I/O thread
+    units_read_foreground: int = 0     # loaded by blocking read_unit calls
+    units_reloaded: int = 0            # re-fetched after eviction
+    units_deleted: int = 0
+    units_failed: int = 0
+    evictions: int = 0
+
+    # --- cache behaviour ---------------------------------------------
+    wait_hits: int = 0     # wait_unit found the unit already resident
+    wait_misses: int = 0   # wait_unit had to block (or trigger a reload)
+
+    # --- memory/queries ----------------------------------------------
+    bytes_allocated: int = 0   # cumulative field-buffer bytes allocated
+    bytes_released: int = 0
+    records_committed: int = 0
+    queries: int = 0           # get_field_buffer/get_field_buffer_size calls
+
+    # --- visible I/O time --------------------------------------------
+    wait_seconds: float = 0.0       # time blocked inside wait_unit
+    foreground_read_seconds: float = 0.0  # time inside blocking read_unit
+    io_thread_read_seconds: float = 0.0   # background time in read callbacks
+    io_thread_blocked_seconds: float = 0.0  # background time blocked on memory
+
+    @property
+    def visible_io_seconds(self) -> float:
+        """The paper's 'visible input time': blocking reads + unit waits."""
+        return self.wait_seconds + self.foreground_read_seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy for reporting."""
+        data = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+        }
+        data["visible_io_seconds"] = self.visible_io_seconds
+        return data
+
+    def reset(self) -> None:
+        for name, fld in self.__dataclass_fields__.items():
+            setattr(self, name, fld.default)

@@ -1,0 +1,157 @@
+"""Unit-lifecycle tracing: observability over the GODIVA database.
+
+A :class:`UnitTracer` plugs into the GBO's ``unit_event_hook`` and
+records every unit state transition with a timestamp, from which it
+reconstructs per-unit timelines: how long each unit sat queued, how long
+its read took, how long it stayed resident before eviction or deletion.
+This is the instrumentation a developer needs to size memory budgets and
+choose unit granularity (the section 3.2 knobs).
+
+Usage::
+
+    tracer = UnitTracer()
+    gbo = GBO(mem_mb=64, unit_event_hook=tracer)
+    ...
+    for line in tracer.report():
+        print(line)
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Every event the GBO emits, in lifecycle order.
+EVENTS = ("added", "read_started", "loaded", "finished", "evicted",
+          "deleted", "failed")
+
+
+@dataclass
+class UnitTimeline:
+    """Reconstructed timings for one unit (one load cycle may repeat
+    after eviction; times accumulate across cycles)."""
+
+    name: str
+    events: List[Tuple[str, float]] = field(default_factory=list)
+
+    def _first(self, event: str) -> Optional[float]:
+        for name, when in self.events:
+            if name == event:
+                return when
+        return None
+
+    def _pairs(self, start_event: str, end_event: str) -> float:
+        """Total seconds between each start/end event pairing."""
+        total = 0.0
+        start: Optional[float] = None
+        for name, when in self.events:
+            if name == start_event:
+                start = when
+            elif name == end_event and start is not None:
+                total += when - start
+                start = None
+        return total
+
+    @property
+    def queued_seconds(self) -> float:
+        """Time between add/re-queue and the read starting."""
+        return self._pairs("added", "read_started")
+
+    @property
+    def read_seconds(self) -> float:
+        return self._pairs("read_started", "loaded")
+
+    @property
+    def loads(self) -> int:
+        return sum(1 for name, _t in self.events if name == "loaded")
+
+    @property
+    def evictions(self) -> int:
+        return sum(1 for name, _t in self.events if name == "evicted")
+
+    @property
+    def failed(self) -> bool:
+        return any(name == "failed" for name, _t in self.events)
+
+    def resident_seconds(self, now: Optional[float] = None) -> float:
+        """Total time the unit's data sat in memory."""
+        total = 0.0
+        loaded_at: Optional[float] = None
+        last = 0.0
+        for name, when in self.events:
+            last = when
+            if name == "loaded":
+                loaded_at = when
+            elif name in ("evicted", "deleted") and \
+                    loaded_at is not None:
+                total += when - loaded_at
+                loaded_at = None
+        if loaded_at is not None:
+            total += (now if now is not None else last) - loaded_at
+        return total
+
+
+class UnitTracer:
+    """Collects GBO unit events; callable, so it *is* the hook."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._timelines: Dict[str, UnitTimeline] = {}
+        self._order: List[str] = []
+
+    def __call__(self, event: str, unit_name: str, now: float) -> None:
+        if event not in EVENTS:
+            raise ValueError(f"unknown unit event {event!r}")
+        with self._lock:
+            timeline = self._timelines.get(unit_name)
+            if timeline is None:
+                timeline = UnitTimeline(unit_name)
+                self._timelines[unit_name] = timeline
+                self._order.append(unit_name)
+            timeline.events.append((event, now))
+
+    def timeline(self, unit_name: str) -> UnitTimeline:
+        with self._lock:
+            try:
+                return self._timelines[unit_name]
+            except KeyError:
+                raise KeyError(
+                    f"no events recorded for unit {unit_name!r}"
+                ) from None
+
+    def unit_names(self) -> List[str]:
+        with self._lock:
+            return list(self._order)
+
+    def totals(self) -> Dict[str, float]:
+        """Aggregate queue/read/resident seconds over all units."""
+        with self._lock:
+            timelines = list(self._timelines.values())
+        return {
+            "units": float(len(timelines)),
+            "queued_seconds": sum(t.queued_seconds for t in timelines),
+            "read_seconds": sum(t.read_seconds for t in timelines),
+            "resident_seconds": sum(
+                t.resident_seconds() for t in timelines
+            ),
+            "loads": float(sum(t.loads for t in timelines)),
+            "evictions": float(
+                sum(t.evictions for t in timelines)
+            ),
+        }
+
+    def report(self) -> List[str]:
+        """Human-readable per-unit lines, in first-seen order."""
+        lines = []
+        for name in self.unit_names():
+            timeline = self.timeline(name)
+            lines.append(
+                f"{name}: queued {timeline.queued_seconds:.3f}s, "
+                f"read {timeline.read_seconds:.3f}s, "
+                f"resident {timeline.resident_seconds():.3f}s, "
+                f"loads {timeline.loads}, "
+                f"evictions {timeline.evictions}"
+                + (" [FAILED]" if timeline.failed else "")
+            )
+        return lines

@@ -1,0 +1,103 @@
+"""Processing units: GODIVA's unit of prefetching, caching, and eviction.
+
+Section 3.2: "A processing unit is a set of records that will be brought in
+or evicted from the GODIVA database as a whole. … A processing unit is the
+unit of data flow from the background I/O module to the data processing
+module." Units carry the developer-supplied read callback, a lifecycle
+state, and a unit-level reference count (section 3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+
+class UnitState(enum.Enum):
+    """Lifecycle of a processing unit.
+
+    QUEUED   – appended to the FIFO prefetch list (``add_unit``), waiting
+               for the I/O thread.
+    READING  – a read callback is currently loading its records.
+    RESIDENT – fully loaded; records queryable. Evictable only once the
+               unit is *finished* with zero references.
+    EVICTED  – records were dropped by cache replacement; the unit's name
+               and read callback are retained so it can be re-fetched.
+    FAILED   – the read callback raised; the error is kept for waiters.
+    DELETED  – explicitly removed (``delete_unit``); terminal.
+    """
+
+    QUEUED = "queued"
+    READING = "reading"
+    RESIDENT = "resident"
+    EVICTED = "evicted"
+    FAILED = "failed"
+    DELETED = "deleted"
+
+
+#: Signature of developer-supplied read callbacks. Called as
+#: ``read_fn(gbo, unit_name)`` — the unit name is passed back so one
+#: function can serve many units ("two different names can trigger
+#: different operations such as reading different files", section 3.3).
+ReadFunction = Callable[["object", str], None]
+
+
+class ProcessingUnit:
+    """Bookkeeping for one named unit. All mutation happens under the GBO
+    lock; this class holds no lock of its own."""
+
+    __slots__ = (
+        "name",
+        "read_fn",
+        "state",
+        "ref_count",
+        "finished",
+        "pending_delete",
+        "error",
+        "resident_bytes",
+        "loads",
+    )
+
+    def __init__(self, name: str, read_fn: Optional[ReadFunction]):
+        self.name = name
+        self.read_fn = read_fn
+        self.state = UnitState.QUEUED
+        #: Outstanding acquisitions: wait_unit/read_unit increment, each
+        #: finish_unit releases one (paper: "Reference counts are kept at
+        #: the unit level").
+        self.ref_count = 0
+        #: The application has declared processing complete at least once;
+        #: combined with ref_count == 0 the unit becomes evictable.
+        self.finished = False
+        #: delete_unit was called while the unit was mid-read; the loader
+        #: deletes it as soon as the read callback returns.
+        self.pending_delete = False
+        self.error: Optional[BaseException] = None
+        #: Bytes currently charged to the memory budget for this unit.
+        self.resident_bytes = 0
+        #: Times this unit's read callback has completed (>1 after
+        #: eviction + re-fetch).
+        self.loads = 0
+
+    @property
+    def evictable(self) -> bool:
+        return (
+            self.state is UnitState.RESIDENT
+            and self.finished
+            and self.ref_count == 0
+        )
+
+    @property
+    def is_loaded(self) -> bool:
+        return self.state is UnitState.RESIDENT
+
+    @property
+    def terminal(self) -> bool:
+        return self.state is UnitState.DELETED
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessingUnit({self.name!r}, {self.state.value}, "
+            f"refs={self.ref_count}, finished={self.finished}, "
+            f"bytes={self.resident_bytes})"
+        )

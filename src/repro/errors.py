@@ -1,0 +1,77 @@
+"""Exception hierarchy for the GODIVA reproduction.
+
+All library errors derive from :class:`GodivaError` so callers can catch one
+base class. The hierarchy mirrors the failure modes the paper discusses:
+schema misuse (section 3.1), memory exhaustion and deadlock between the main
+thread and the background I/O thread (section 3.3), and file-format errors
+raised by the storage substrate.
+"""
+
+from __future__ import annotations
+
+
+class GodivaError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SchemaError(GodivaError):
+    """Invalid field/record type definition or misuse of the type system.
+
+    Raised for duplicate type names, committing an empty record type,
+    inserting an unknown field type, or modifying a committed record type.
+    """
+
+
+class UnknownTypeError(SchemaError):
+    """A field or record type name was used before being defined."""
+
+
+class RecordStateError(GodivaError):
+    """A record operation was performed in the wrong lifecycle state.
+
+    Examples: committing a record whose key buffers are unallocated, or
+    allocating a buffer for a field whose size was fixed at definition time.
+    """
+
+
+class KeyLookupError(GodivaError, KeyError):
+    """No record matches the supplied key-field values."""
+
+
+class DuplicateKeyError(GodivaError):
+    """A record was committed under a key already present in the index."""
+
+
+class UnknownUnitError(GodivaError, KeyError):
+    """A processing-unit name was used before being added or after deletion."""
+
+
+class UnitStateError(GodivaError):
+    """A unit operation conflicts with the unit's lifecycle state."""
+
+
+class MemoryBudgetError(GodivaError):
+    """A single allocation can never fit in the configured memory budget."""
+
+
+class GodivaDeadlockError(GodivaError):
+    """The main thread waits for a unit the I/O thread can never load.
+
+    The paper (section 3.3) detects exactly this: the waiter needs unit *u*
+    but the background thread is blocked on memory and no resident unit is
+    finished (evictable). This normally means the application neglected to
+    call ``finish_unit``/``delete_unit`` on processed units.
+    """
+
+
+class DatabaseClosedError(GodivaError):
+    """An interface was invoked on a GBO whose I/O thread was shut down."""
+
+
+class StorageFormatError(GodivaError):
+    """A file does not conform to the SDF/plain-binary on-disk layout."""
+
+
+class ReadFunctionError(GodivaError):
+    """A developer-supplied read callback raised; the original exception is
+    attached as ``__cause__`` and the unit is marked failed."""

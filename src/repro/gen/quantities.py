@@ -1,0 +1,145 @@
+"""Analytic physical fields over the synthetic propellant mesh.
+
+The GENx snapshots contain "a scalar measure of average stress, six
+components of the stress tensor stored as scalars, the displacement,
+velocity, and acceleration vectors, and several other quantities required
+for restarting" (section 4.2). We synthesize all of them as smooth,
+deterministic functions of position and time — travelling pressure waves
+through the grain — so that (a) the data volume and record structure match
+the paper's, and (b) isosurfaces/slices of the fields are visually and
+numerically meaningful.
+
+Node-based fields are evaluated at mesh nodes; element-based fields at tet
+centroids. Vectors are stored as (n, 3) arrays, tensor components as six
+scalars (s11, s22, s33, s12, s13, s23).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Node-based quantity names -> number of components. Stress is nodal
+#: (recovered/averaged to nodes, as FEM post-processing output commonly
+#: is): with the paper's mesh proportions this reproduces its per-test
+#: input volumes (19.2/30.1/16.6 MB per snapshot), which element-sized
+#: stress arrays would not.
+NODE_FIELDS: Dict[str, int] = {
+    "displacement": 3,
+    "velocity": 3,
+    "acceleration": 3,
+    "temperature": 1,      # restart extra
+    "ave_stress": 1,
+    "s11": 1,
+    "s22": 1,
+    "s33": 1,
+    "s12": 1,
+    "s13": 1,
+    "s23": 1,
+}
+
+#: Element-based quantity names -> number of components.
+ELEMENT_FIELDS: Dict[str, int] = {
+    "plastic_strain": 1,   # restart extra
+}
+
+_WAVE_K = np.array([2.5, 1.7, 4.0])   # spatial wavenumbers
+_OMEGA = 6.0                          # temporal frequency
+
+
+def _phase(points: np.ndarray, t: float) -> np.ndarray:
+    return points @ _WAVE_K - _OMEGA * t
+
+
+def displacement(points: np.ndarray, t: float) -> np.ndarray:
+    """Displacement vector field u(x, t): a radial breathing mode plus an
+    axial travelling wave."""
+    phase = _phase(points, t)
+    radial = points[:, :2]
+    r = np.linalg.norm(radial, axis=1, keepdims=True) + 1e-12
+    u = np.empty_like(points)
+    amp = 0.01
+    u[:, :2] = amp * np.sin(phase)[:, None] * radial / r
+    u[:, 2] = amp * 0.5 * np.cos(phase)
+    return u
+
+
+def velocity(points: np.ndarray, t: float) -> np.ndarray:
+    """du/dt, computed analytically from :func:`displacement`."""
+    phase = _phase(points, t)
+    radial = points[:, :2]
+    r = np.linalg.norm(radial, axis=1, keepdims=True) + 1e-12
+    v = np.empty_like(points)
+    amp = 0.01
+    v[:, :2] = -amp * _OMEGA * np.cos(phase)[:, None] * radial / r
+    v[:, 2] = amp * 0.5 * _OMEGA * np.sin(phase)
+    return v
+
+
+def acceleration(points: np.ndarray, t: float) -> np.ndarray:
+    """d2u/dt2 = -omega^2 * u."""
+    return -(_OMEGA ** 2) * displacement(points, t)
+
+
+def temperature(points: np.ndarray, t: float) -> np.ndarray:
+    """Burn-front temperature: hot near the bore, decaying outward."""
+    r = np.linalg.norm(points[:, :2], axis=1)
+    return 300.0 + 2200.0 * np.exp(-4.0 * r) * (1.0 + 0.1 * np.sin(
+        _OMEGA * t + 3.0 * points[:, 2]
+    ))
+
+
+def stress_tensor(points: np.ndarray, t: float) -> np.ndarray:
+    """Six independent stress components at the given points, shape
+    (n, 6) ordered (s11, s22, s33, s12, s13, s23)."""
+    phase = _phase(points, t)
+    r = np.linalg.norm(points[:, :2], axis=1)
+    p = 5.0e6 * np.exp(-2.0 * r) * (1.0 + 0.3 * np.sin(phase))
+    shear = 1.0e6 * np.cos(phase)
+    s = np.empty((len(points), 6))
+    s[:, 0] = -p * (1.0 + 0.2 * np.sin(3.0 * points[:, 2]))
+    s[:, 1] = -p * (1.0 + 0.2 * np.cos(3.0 * points[:, 2]))
+    s[:, 2] = -p * 0.8
+    s[:, 3] = shear
+    s[:, 4] = 0.5 * shear * np.sin(2.0 * phase)
+    s[:, 5] = 0.5 * shear * np.cos(2.0 * phase)
+    return s
+
+
+def von_mises(tensor6: np.ndarray) -> np.ndarray:
+    """Von Mises equivalent stress from six components — the paper's
+    'scalar measure of average stress'."""
+    s11, s22, s33, s12, s13, s23 = tensor6.T
+    return np.sqrt(
+        0.5 * ((s11 - s22) ** 2 + (s22 - s33) ** 2 + (s33 - s11) ** 2)
+        + 3.0 * (s12 ** 2 + s13 ** 2 + s23 ** 2)
+    )
+
+
+def plastic_strain(points: np.ndarray, t: float) -> np.ndarray:
+    """Accumulated plastic strain — monotone in time, bore-concentrated."""
+    r = np.linalg.norm(points[:, :2], axis=1)
+    return 0.002 * (1.0 + t) * np.exp(-6.0 * r)
+
+
+def node_fields(nodes: np.ndarray, t: float) -> Dict[str, np.ndarray]:
+    """All node-based quantities at time ``t``; keys match NODE_FIELDS."""
+    tensor = stress_tensor(nodes, t)
+    fields: Dict[str, np.ndarray] = {
+        "displacement": displacement(nodes, t),
+        "velocity": velocity(nodes, t),
+        "acceleration": acceleration(nodes, t),
+        "temperature": temperature(nodes, t),
+        "ave_stress": von_mises(tensor),
+    }
+    for i, comp in enumerate(("s11", "s22", "s33", "s12", "s13", "s23")):
+        fields[comp] = tensor[:, i]
+    return fields
+
+
+def element_fields(centroids: np.ndarray, t: float
+                   ) -> Dict[str, np.ndarray]:
+    """All element-based quantities at time ``t``; keys match
+    ELEMENT_FIELDS."""
+    return {"plastic_strain": plastic_strain(centroids, t)}

@@ -1,0 +1,43 @@
+"""Storage substrate: cost-modeled disk access and portable file formats.
+
+The paper's data lives in HDF4 files on ext2/REISERFS disks. Offline and
+from scratch, we provide:
+
+* :mod:`repro.io.disk` — a disk *cost model* (seek + transfer time) and
+  I/O statistics, so experiments measure I/O volume and compute virtual
+  I/O time identically on any host;
+* :mod:`repro.io.sdf` — the **SDF** format, an HDF4-like tag/directory
+  binary layout for named n-dimensional arrays with attributes;
+* :mod:`repro.io.plainbin` — a single-array plain binary format for the
+  scientific-format-overhead comparison;
+* :mod:`repro.io.readers` — helpers for building GODIVA read callbacks
+  over SDF files.
+"""
+
+from repro.io.disk import (
+    ENGLE_DISK,
+    NULL_DISK,
+    TURING_DISK,
+    CostedFile,
+    DiskProfile,
+    IoStats,
+)
+from repro.io.cdf import CdfReader, CdfWriter
+from repro.io.plainbin import read_plain_array, write_plain_array
+from repro.io.sdf import DatasetInfo, SdfReader, SdfWriter
+
+__all__ = [
+    "DiskProfile",
+    "IoStats",
+    "CostedFile",
+    "ENGLE_DISK",
+    "TURING_DISK",
+    "NULL_DISK",
+    "SdfWriter",
+    "SdfReader",
+    "CdfWriter",
+    "CdfReader",
+    "DatasetInfo",
+    "write_plain_array",
+    "read_plain_array",
+]

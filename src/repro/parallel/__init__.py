@@ -1,0 +1,22 @@
+"""Parallel Voyager: snapshot-partitioned multi-process runs.
+
+Section 4.2: "Voyager partitions its workload between processors by
+assigning different processors different snapshots to process [so] there
+is little communication involved … we expect the speedup brought by
+GODIVA in parallel mode to be similar to that obtained in our sequential
+mode tests", confirmed with four Voyager processes on Turing.
+
+The paper uses MPI; communication is nil by design, so
+``multiprocessing`` preserves the behaviour (each worker owns its private
+GODIVA database, exactly like the per-processor GBO objects of
+section 3.3).
+"""
+
+from repro.parallel.launcher import ParallelResult, run_parallel_voyager
+from repro.parallel.scheduler import partition_snapshots
+
+__all__ = [
+    "partition_snapshots",
+    "run_parallel_voyager",
+    "ParallelResult",
+]

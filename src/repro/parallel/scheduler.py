@@ -1,0 +1,40 @@
+"""Snapshot-to-worker assignment strategies."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def partition_snapshots(n_snapshots: int, n_workers: int,
+                        strategy: str = "block") -> List[List[int]]:
+    """Assign snapshot indices to workers.
+
+    ``block``: contiguous near-equal ranges (Voyager's scheme — workers
+    process disjoint stretches of the time series).
+    ``cyclic``: round-robin, which balances better when per-snapshot cost
+    drifts over time.
+
+    Every snapshot is assigned exactly once; workers may receive empty
+    lists when there are more workers than snapshots.
+    """
+    if n_snapshots < 0:
+        raise ValueError("negative snapshot count")
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    if strategy == "block":
+        base, extra = divmod(n_snapshots, n_workers)
+        assignment: List[List[int]] = []
+        start = 0
+        for worker in range(n_workers):
+            count = base + (1 if worker < extra else 0)
+            assignment.append(list(range(start, start + count)))
+            start += count
+        return assignment
+    if strategy == "cyclic":
+        assignment = [[] for _ in range(n_workers)]
+        for step in range(n_snapshots):
+            assignment[step % n_workers].append(step)
+        return assignment
+    raise ValueError(
+        f"unknown strategy {strategy!r}; choose 'block' or 'cyclic'"
+    )

@@ -1,0 +1,50 @@
+"""Platform simulator: deterministic virtual-time machine model.
+
+The paper's overlap results (Figure 3) are scheduling effects — how much
+background I/O hides behind computation on a one-CPU workstation (Engle)
+versus a dual-CPU cluster node (Turing). Reproducing those *shapes* on
+arbitrary hosts requires a machine model rather than wall clocks, so this
+package provides a small discrete-event simulation substrate:
+
+* :mod:`repro.simulate.engine` — event heap + generator-based processes;
+* :mod:`repro.simulate.resources` — processor-sharing CPU pool, FIFO
+  disk, condition variables and semaphores;
+* :mod:`repro.simulate.machine` — the ENGLE and TURING machine configs;
+* :mod:`repro.simulate.workload` — per-test I/O + compute cost profiles,
+  traced from the real pipeline or calibrated to the paper's scale;
+* :mod:`repro.simulate.runner` — the simulated Voyager schedules
+  (O / G / TG, with an optional CPU-hogging competitor for TG1).
+"""
+
+from repro.simulate.cluster import (
+    ClusterRunResult,
+    simulate_cluster_voyager,
+)
+from repro.simulate.engine import Process, Simulator
+from repro.simulate.machine import ENGLE, TURING, Machine
+from repro.simulate.resources import (
+    Condition,
+    DiskFifo,
+    ProcessorPool,
+    Semaphore,
+)
+from repro.simulate.runner import SimRunResult, simulate_voyager
+from repro.simulate.workload import TestWorkload, trace_workload
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "ProcessorPool",
+    "DiskFifo",
+    "Condition",
+    "Semaphore",
+    "Machine",
+    "ENGLE",
+    "TURING",
+    "TestWorkload",
+    "trace_workload",
+    "SimRunResult",
+    "simulate_voyager",
+    "ClusterRunResult",
+    "simulate_cluster_voyager",
+]

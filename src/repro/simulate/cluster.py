@@ -1,0 +1,166 @@
+"""Simulated parallel Voyager: many workers, shared or private disks.
+
+The paper's parallel experiments run four Voyager processes with
+snapshots partitioned across them and observe per-worker GODIVA speedups
+"similar to that obtained in our sequential mode tests" (section 4.2).
+This module generalizes that into a scaling experiment: ``n_workers``
+simulated nodes (each with its own CPUs, as on the Turing cluster)
+process disjoint snapshot partitions in G or TG mode, against either
+
+* **private disks** — each node reads its own storage (ideal scaling,
+  the regime of the paper's experiment), or
+* **a shared disk** — all nodes contend on one storage device (the
+  cluster-filesystem regime), whose service time bounds the makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.simulate.engine import Simulator
+from repro.simulate.machine import Machine
+from repro.simulate.resources import (
+    Condition,
+    DiskFifo,
+    ProcessorPool,
+    Semaphore,
+)
+from repro.simulate.workload import TestWorkload
+
+
+@dataclass
+class WorkerRun:
+    """One worker's outcome."""
+
+    worker: int
+    n_units: int
+    finish_s: float
+    visible_io_s: float
+
+
+@dataclass
+class ClusterRunResult:
+    """Aggregate outcome of a simulated parallel run."""
+
+    mode: str
+    n_workers: int
+    shared_disk: bool
+    workers: List[WorkerRun] = field(default_factory=list)
+    disk_busy_s: float = 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        return max((w.finish_s for w in self.workers), default=0.0)
+
+    @property
+    def total_visible_io_s(self) -> float:
+        return sum(w.visible_io_s for w in self.workers)
+
+    def speedup_vs(self, serial: "ClusterRunResult") -> float:
+        return serial.makespan_s / self.makespan_s
+
+
+def simulate_cluster_voyager(
+    machine: Machine,
+    workload: TestWorkload,
+    mode: str,
+    n_workers: int,
+    shared_disk: bool = False,
+    window_units: int = 12,
+) -> ClusterRunResult:
+    """Simulate ``n_workers`` Voyager processes over a snapshot split.
+
+    Each worker runs on its own node (private CPU pool, the paper's
+    one-Voyager-process-per-node setup); disks are private per node or
+    one shared device. ``mode``: 'G' (blocking) or 'TG' (background
+    prefetch per worker — each worker owns a private GODIVA database
+    and I/O thread, section 3.3).
+    """
+    if mode not in ("G", "TG"):
+        raise ValueError(f"unsupported cluster mode {mode!r}")
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+
+    from repro.parallel.scheduler import partition_snapshots
+
+    assignment = partition_snapshots(workload.n_snapshots, n_workers)
+    profile = workload.godiva
+    disk_s = profile.disk_seconds(machine.disk)
+    parse_s = profile.parse_seconds(machine)
+
+    sim = Simulator()
+    disks: List[DiskFifo]
+    if shared_disk:
+        shared = DiskFifo(sim)
+        disks = [shared] * n_workers
+    else:
+        disks = [DiskFifo(sim) for _ in range(n_workers)]
+    cpus = [
+        ProcessorPool(sim, machine.n_cpus,
+                      contention=machine.smp_contention)
+        for _ in range(n_workers)
+    ]
+
+    result = ClusterRunResult(
+        mode=mode, n_workers=n_workers, shared_disk=shared_disk
+    )
+    finished: List[WorkerRun] = [None] * n_workers  # type: ignore
+
+    for worker_index, units in enumerate(assignment):
+        cpu = cpus[worker_index]
+        disk = disks[worker_index]
+        n_units = len(units)
+        waits: List[float] = []
+
+        if mode == "G":
+            def worker_proc(worker_index=worker_index, cpu=cpu,
+                            disk=disk, n_units=n_units, waits=waits):
+                for _ in range(n_units):
+                    t0 = sim.now
+                    yield disk.read(disk_s)
+                    yield cpu.use(parse_s)
+                    waits.append(sim.now - t0)
+                    yield cpu.use(workload.compute_s)
+                finished[worker_index] = WorkerRun(
+                    worker=worker_index, n_units=n_units,
+                    finish_s=sim.now, visible_io_s=sum(waits),
+                )
+
+            sim.spawn(worker_proc())
+        else:
+            window = Semaphore(sim, window_units)
+            loaded = [Condition(sim) for _ in range(n_units)]
+
+            def io_proc(cpu=cpu, disk=disk, window=window,
+                        loaded=loaded, n_units=n_units):
+                for i in range(n_units):
+                    yield window.acquire()
+                    yield disk.read(disk_s)
+                    yield cpu.use(parse_s)
+                    loaded[i].set()
+
+            def main_proc(worker_index=worker_index, cpu=cpu,
+                          window=window, loaded=loaded,
+                          n_units=n_units, waits=waits):
+                for i in range(n_units):
+                    t0 = sim.now
+                    yield loaded[i].wait()
+                    waits.append(sim.now - t0)
+                    yield cpu.use(workload.compute_s)
+                    window.release()
+                finished[worker_index] = WorkerRun(
+                    worker=worker_index, n_units=n_units,
+                    finish_s=sim.now, visible_io_s=sum(waits),
+                )
+
+            sim.spawn(io_proc())
+            sim.spawn(main_proc())
+
+    sim.run()
+    result.workers = [run for run in finished if run is not None]
+    unique_disks = {id(d): d for d in disks}
+    result.disk_busy_s = sum(
+        d.busy_seconds for d in unique_disks.values()
+    )
+    return result

@@ -1,0 +1,128 @@
+"""Discrete-event simulation engine with generator-based processes.
+
+A :class:`Simulator` owns a virtual clock and an event heap. A
+:class:`Process` wraps a Python generator: each ``yield``ed *request*
+(anything with a ``start(simulator, resume)`` method) suspends the process
+until the owning resource calls ``resume(value)``. Determinism is total:
+same program, same timeline.
+
+Example::
+
+    sim = Simulator()
+    cpu = ProcessorPool(sim, n_cpus=1)
+
+    def job():
+        yield cpu.use(2.0)       # 2 virtual CPU-seconds
+        yield sim.sleep(1.0)
+
+    sim.spawn(job())
+    sim.run()
+    assert sim.now == 3.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional
+
+
+class Event:
+    """A scheduled callback; cancellable."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class _Sleep:
+    """Request: suspend for a fixed virtual duration."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.seconds = seconds
+
+    def start(self, sim: "Simulator", resume: Callable) -> None:
+        sim.schedule(self.seconds, lambda: resume(None))
+
+
+class Simulator:
+    """Virtual clock + event heap + process spawner."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._live_processes = 0
+
+    def schedule(self, delay: float,
+                 callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event = Event(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def sleep(self, seconds: float) -> _Sleep:
+        """Request object for ``yield sim.sleep(x)``."""
+        return _Sleep(seconds)
+
+    def spawn(self, generator: Generator) -> "Process":
+        """Start a process; it begins running at the current time."""
+        return Process(self, generator)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the heap is empty (or ``until``)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                # Put it back; stop at the horizon.
+                heapq.heappush(self._heap, event)
+                self.now = until
+                return
+            assert event.time >= self.now - 1e-12, "time went backwards"
+            self.now = event.time
+            event.callback()
+        if until is not None:
+            self.now = max(self.now, until)
+
+
+class Process:
+    """Drives a generator of requests to completion."""
+
+    def __init__(self, sim: Simulator, generator: Generator):
+        self.sim = sim
+        self._gen = generator
+        self.finished = False
+        self.result: Any = None
+        sim._live_processes += 1
+        # Kick off at the current instant (not recursively, to keep the
+        # spawn call cheap and ordering well-defined).
+        sim.schedule(0.0, lambda: self._step(None))
+
+    def _step(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            request = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.sim._live_processes -= 1
+            return
+        request.start(self.sim, self._step)

@@ -1,0 +1,72 @@
+"""Machine models: the paper's two evaluation platforms.
+
+* **Engle** — a Dell Precision 340 workstation: one 2.0 GHz Pentium 4,
+  1 GB RDRAM, an 80 GB ATA-100 IDE disk, Linux 2.4.20/ext2.
+* **Turing** — one node of CSAR's Turing cluster: dual 1 GHz Pentium III,
+  2 GB memory, Linux 2.4.18/REISERFS.
+
+A machine bundles a CPU count, a :class:`~repro.io.disk.DiskProfile`, and
+the CPU cost of the read path itself (format decode + memcpy per byte and
+per-call overhead). That CPU portion of I/O is what *cannot* be hidden on
+a single CPU — the mechanism behind Figure 3(a)'s modest hidden fractions
+versus Figure 3(b)'s large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.io.disk import ENGLE_DISK, TURING_DISK, DiskProfile
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import DiskFifo, ProcessorPool
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A simulated host."""
+
+    name: str
+    n_cpus: int
+    disk: DiskProfile
+    #: CPU seconds spent per byte read (scientific-format decode +
+    #: buffer copies). 150 ns/B on a 2 GHz P4 matches the low HDF
+    #: transfer rates the authors observed [Ma et al. 2003, cited as 8].
+    parse_s_per_byte: float
+    #: CPU seconds per read call (library dispatch, metadata handling).
+    parse_s_per_call: float
+    #: Co-run penalty: fractional slowdown of every runnable job while
+    #: more than one is runnable (memory-bus/cache interference on SMPs,
+    #: context-switch cost on uniprocessors). See
+    #: :class:`~repro.simulate.resources.ProcessorPool`.
+    smp_contention: float = 0.0
+
+    def parse_seconds(self, nbytes: float, read_calls: float) -> float:
+        return nbytes * self.parse_s_per_byte + \
+            read_calls * self.parse_s_per_call
+
+    def build(self, sim: Simulator) -> Tuple[ProcessorPool, DiskFifo]:
+        """Instantiate this machine's resources on a simulator."""
+        pool = ProcessorPool(sim, self.n_cpus,
+                             contention=self.smp_contention)
+        return pool, DiskFifo(sim)
+
+
+ENGLE = Machine(
+    name="engle",
+    n_cpus=1,
+    disk=ENGLE_DISK,
+    parse_s_per_byte=1.5e-7,
+    parse_s_per_call=1.0e-4,
+    smp_contention=0.05,
+)
+
+#: Turing's PIII cores are slower per clock; decode costs more CPU.
+TURING = Machine(
+    name="turing",
+    n_cpus=2,
+    disk=TURING_DISK,
+    parse_s_per_byte=2.2e-7,
+    parse_s_per_call=1.5e-4,
+    smp_contention=0.10,
+)

@@ -1,0 +1,136 @@
+"""Workload profiles for the simulated Voyager runs.
+
+A :class:`TestWorkload` captures, per snapshot, the I/O traffic of the
+original (O) and GODIVA (G/TG — identical traffic) builds plus the
+visualization compute demand. Profiles come from **tracing the real
+pipeline**: :func:`trace_workload` runs the actual O and G Voyager passes
+over one generated snapshot (metering volume, read calls, seeks and
+settles through the disk cost model) and scales to the experiment's 32
+snapshots. Compute demand is calibrated per test to the paper's
+compute-to-I/O ratios ("simple" smallest, "complex" largest, section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.io.disk import DiskProfile
+from repro.simulate.machine import Machine
+
+
+@dataclass(frozen=True)
+class IoProfile:
+    """Per-snapshot I/O traffic of one Voyager build."""
+
+    bytes_read: float
+    read_calls: float
+    seeks: float
+    settles: float
+    opens: float
+
+    def disk_seconds(self, disk: DiskProfile) -> float:
+        """Pure device time under a disk profile."""
+        transfer = self.bytes_read / disk.bandwidth_bytes_s
+        return (
+            transfer
+            + self.seeks * disk.seek_s
+            + self.settles * disk.settle_s
+            + self.opens * disk.open_s
+        )
+
+    def parse_seconds(self, machine: Machine) -> float:
+        """CPU time of the read path under a machine's cost model."""
+        return machine.parse_seconds(self.bytes_read, self.read_calls)
+
+
+#: Per-test compute demand, as a multiple of the *G build's* per-snapshot
+#: device I/O time on Engle. Calibrated so the simulated Figure 3 bars
+#: have the paper's proportions: the 'simple' test has the smallest
+#: compute-to-I/O ratio and 'complex' the largest (section 4.2).
+COMPUTE_RATIO: Dict[str, float] = {
+    "simple": 1.3,
+    "medium": 1.8,
+    "complex": 5.5,
+}
+
+
+@dataclass(frozen=True)
+class TestWorkload:
+    """Everything the simulated runs need for one evaluation test."""
+
+    __test__ = False  # "Test" prefix is domain language, not pytest's
+
+    test: str
+    n_snapshots: int
+    original: IoProfile     # per snapshot
+    godiva: IoProfile       # per snapshot
+    compute_s: float        # per snapshot
+
+    def io_profile(self, mode: str) -> IoProfile:
+        return self.original if mode == "O" else self.godiva
+
+
+def trace_workload(
+    data_dir: str,
+    test: str,
+    n_snapshots: int = 32,
+    compute_s: Optional[float] = None,
+    reference_machine: Optional[Machine] = None,
+) -> TestWorkload:
+    """Trace the real pipeline's I/O for one test over one snapshot.
+
+    Runs the actual O and G Voyager builds (rendering disabled, one
+    snapshot) against ``data_dir`` and averages the metered traffic into
+    per-snapshot :class:`IoProfile` values. ``compute_s`` overrides the
+    calibrated per-snapshot compute demand.
+    """
+    # Local imports: viz depends on io/gen; keep simulate importable alone.
+    from repro.simulate.machine import ENGLE
+    from repro.viz.voyager import Voyager, VoyagerConfig
+
+    machine = reference_machine or ENGLE
+    profiles = {}
+    for mode in ("O", "G"):
+        result = Voyager(VoyagerConfig(
+            data_dir=data_dir,
+            test=test,
+            mode=mode,
+            mem_mb=4096.0,
+            render=False,
+            steps=1,
+            disk=machine.disk,
+        )).run()
+        steps = max(result.n_snapshots, 1)
+        profiles[mode] = result, steps
+    # Both builds open every file of the snapshot exactly once.
+    from repro.gen.snapshot import load_manifest
+
+    files_per_snapshot = float(
+        len(load_manifest(data_dir).snapshots[0].files)
+    )
+
+    def to_profile(mode: str) -> IoProfile:
+        result, steps = profiles[mode]
+        return IoProfile(
+            bytes_read=result.bytes_read / steps,
+            read_calls=result.read_calls / steps,
+            seeks=result.seeks / steps,
+            settles=result.settles / steps,
+            opens=files_per_snapshot,
+        )
+
+    original = to_profile("O")
+    godiva = to_profile("G")
+    if compute_s is None:
+        compute_s = COMPUTE_RATIO[test] * (
+            godiva.disk_seconds(machine.disk)
+            + godiva.parse_seconds(machine)
+        )
+    return TestWorkload(
+        test=test,
+        n_snapshots=n_snapshots,
+        original=original,
+        godiva=godiva,
+        compute_s=compute_s,
+    )

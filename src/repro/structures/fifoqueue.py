@@ -1,0 +1,101 @@
+"""A FIFO queue with membership testing and arbitrary removal.
+
+GODIVA's prefetch list is a FIFO: ``addUnit`` appends, the background I/O
+thread pops from the front (paper section 3.3). ``deleteUnit`` on a not-yet
+-read unit must also be able to cancel a queued entry, so this queue supports
+O(1) membership checks and lazy removal of arbitrary items.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Iterator, Set
+
+
+class FifoQueue:
+    """First-in first-out queue of unique hashable items.
+
+    Removal of non-front items is lazy: a *tombstone count* records how
+    many stale occurrences of the item must be skipped when they reach
+    the front. Counting (rather than a set) matters for the
+    remove-then-re-push cycle: the re-pushed entry must stay live while
+    the earlier, removed occurrence of the same item stays dead.
+    All operations are amortized O(1).
+    """
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self._members: Set[Any] = set()
+        self._removed: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._members
+
+    def __iter__(self) -> Iterator[Any]:
+        """Yield live items in queue order."""
+        skip = Counter(self._removed)
+        for item in self._queue:
+            if skip[item] > 0:
+                skip[item] -= 1
+                continue
+            yield item
+
+    def push(self, item: Any) -> None:
+        """Append ``item``; re-pushing a queued item is an error."""
+        if item in self._members:
+            raise ValueError(f"item already queued: {item!r}")
+        self._queue.append(item)
+        self._members.add(item)
+
+    def pop(self) -> Any:
+        """Remove and return the oldest live item."""
+        while self._queue:
+            item = self._queue.popleft()
+            if self._removed[item] > 0:
+                self._removed[item] -= 1
+                if self._removed[item] == 0:
+                    del self._removed[item]
+                continue
+            self._members.discard(item)
+            return item
+        raise IndexError("pop from empty FifoQueue")
+
+    def peek(self) -> Any:
+        """Return the oldest live item without removing it."""
+        while self._queue:
+            item = self._queue[0]
+            if self._removed[item] > 0:
+                self._queue.popleft()
+                self._removed[item] -= 1
+                if self._removed[item] == 0:
+                    del self._removed[item]
+                continue
+            return item
+        raise IndexError("peek of empty FifoQueue")
+
+    def remove(self, item: Any) -> bool:
+        """Cancel a queued item; returns whether it was queued.
+
+        The *newest* live occurrence conceptually dies, but since a live
+        item is unique (push rejects duplicates of live items), marking
+        one occurrence dead is unambiguous.
+        """
+        if item not in self._members:
+            return False
+        self._members.discard(item)
+        self._removed[item] += 1
+        # Opportunistically drain dead entries at the front.
+        while self._queue and self._removed.get(self._queue[0], 0) > 0:
+            front = self._queue.popleft()
+            self._removed[front] -= 1
+            if self._removed[front] == 0:
+                del self._removed[front]
+        return True
+
+    def clear(self) -> None:
+        self._queue.clear()
+        self._members.clear()
+        self._removed.clear()

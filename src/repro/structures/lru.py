@@ -1,0 +1,98 @@
+"""An intrusive doubly-linked LRU list with O(1) touch and eviction.
+
+The GODIVA database evicts "finished" processing units in LRU order when
+memory runs low (paper section 3.3). This list tracks recency for arbitrary
+hashable items: :meth:`touch` moves an item to the most-recently-used end,
+:meth:`pop_lru` removes and returns the least-recently-used item.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+
+class _Link:
+    __slots__ = ("item", "prev", "next")
+
+    def __init__(self, item: Any):
+        self.item = item
+        self.prev: Optional["_Link"] = None
+        self.next: Optional["_Link"] = None
+
+
+class LruList:
+    """Recency list over hashable items.
+
+    Items are unique; touching an absent item inserts it. Iteration runs
+    from least-recently to most-recently used.
+    """
+
+    def __init__(self) -> None:
+        # Sentinel head/tail simplify unlinking. head.next is the LRU item,
+        # tail.prev is the MRU item.
+        self._head = _Link(None)
+        self._tail = _Link(None)
+        self._head.next = self._tail
+        self._tail.prev = self._head
+        self._links: Dict[Any, _Link] = {}
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._links
+
+    def __iter__(self) -> Iterator[Any]:
+        link = self._head.next
+        while link is not self._tail:
+            yield link.item
+            link = link.next
+
+    def touch(self, item: Any) -> None:
+        """Mark ``item`` most-recently used, inserting it if absent."""
+        link = self._links.get(item)
+        if link is not None:
+            self._unlink(link)
+        else:
+            link = _Link(item)
+            self._links[item] = link
+        self._append(link)
+
+    def discard(self, item: Any) -> bool:
+        """Remove ``item`` if present; return whether it was present."""
+        link = self._links.pop(item, None)
+        if link is None:
+            return False
+        self._unlink(link)
+        return True
+
+    def peek_lru(self) -> Any:
+        """Return (without removing) the least-recently-used item."""
+        if not self._links:
+            raise KeyError("peek_lru of empty LruList")
+        return self._head.next.item
+
+    def pop_lru(self) -> Any:
+        """Remove and return the least-recently-used item."""
+        if not self._links:
+            raise KeyError("pop_lru of empty LruList")
+        link = self._head.next
+        self._unlink(link)
+        del self._links[link.item]
+        return link.item
+
+    def clear(self) -> None:
+        self._head.next = self._tail
+        self._tail.prev = self._head
+        self._links.clear()
+
+    def _unlink(self, link: _Link) -> None:
+        link.prev.next = link.next
+        link.next.prev = link.prev
+
+    def _append(self, link: _Link) -> None:
+        last = self._tail.prev
+        last.next = link
+        link.prev = last
+        link.next = self._tail
+        self._tail.prev = link

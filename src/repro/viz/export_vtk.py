@@ -1,0 +1,121 @@
+"""Legacy-VTK export: interop with the ecosystem the paper lived in.
+
+Rocketeer is built on the Visualization Toolkit (section 4.1); exporting
+our meshes and extracted surfaces as legacy ``.vtk`` files lets any
+VTK-based tool (ParaView, VisIt, Rocketeer itself) open what this
+library computes. ASCII legacy format, version 2.0 — the most portable
+dialect.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gen.tetmesh import TetMesh
+from repro.viz.isosurface import TriangleSoup
+
+
+def _write_header(f, title: str, dataset_type: str) -> None:
+    f.write("# vtk DataFile Version 2.0\n")
+    f.write(title[:255] + "\n")
+    f.write("ASCII\n")
+    f.write(f"DATASET {dataset_type}\n")
+
+
+def _write_points(f, points: np.ndarray) -> None:
+    f.write(f"POINTS {len(points)} double\n")
+    for x, y, z in points:
+        f.write(f"{x:.10g} {y:.10g} {z:.10g}\n")
+
+
+def write_triangle_soup(path: str, soup: TriangleSoup,
+                        scalar_name: str = "value",
+                        title: str = "godiva surface") -> int:
+    """Write an extracted surface as VTK POLYDATA.
+
+    Triangle corners become points (unshared — the soup has no
+    connectivity), the carried per-vertex scalars become POINT_DATA.
+    Returns the number of triangles written.
+    """
+    vertices = soup.vertices.reshape(-1, 3)
+    n_triangles = soup.n_triangles
+    with open(os.fspath(path), "w") as f:
+        _write_header(f, title, "POLYDATA")
+        _write_points(f, vertices)
+        f.write(f"POLYGONS {n_triangles} {4 * n_triangles}\n")
+        for index in range(n_triangles):
+            base = 3 * index
+            f.write(f"3 {base} {base + 1} {base + 2}\n")
+        f.write(f"POINT_DATA {len(vertices)}\n")
+        f.write(f"SCALARS {scalar_name} double 1\n")
+        f.write("LOOKUP_TABLE default\n")
+        for value in soup.values.reshape(-1):
+            f.write(f"{value:.10g}\n")
+    return n_triangles
+
+
+def write_tet_mesh(
+    path: str,
+    mesh: TetMesh,
+    point_data: Optional[Dict[str, np.ndarray]] = None,
+    cell_data: Optional[Dict[str, np.ndarray]] = None,
+    title: str = "godiva mesh",
+) -> int:
+    """Write a tetrahedral mesh as VTK UNSTRUCTURED_GRID.
+
+    ``point_data``/``cell_data`` map names to per-node / per-tet scalar
+    (n,) or vector (n, 3) arrays. Returns the number of cells written.
+    """
+    point_data = point_data or {}
+    cell_data = cell_data or {}
+    for name, data in point_data.items():
+        if len(data) != mesh.n_nodes:
+            raise ValueError(
+                f"point data {name!r} has {len(data)} entries for "
+                f"{mesh.n_nodes} nodes"
+            )
+    for name, data in cell_data.items():
+        if len(data) != mesh.n_tets:
+            raise ValueError(
+                f"cell data {name!r} has {len(data)} entries for "
+                f"{mesh.n_tets} tets"
+            )
+
+    with open(os.fspath(path), "w") as f:
+        _write_header(f, title, "UNSTRUCTURED_GRID")
+        _write_points(f, mesh.nodes)
+        f.write(f"CELLS {mesh.n_tets} {5 * mesh.n_tets}\n")
+        for tet in mesh.tets:
+            f.write(f"4 {tet[0]} {tet[1]} {tet[2]} {tet[3]}\n")
+        f.write(f"CELL_TYPES {mesh.n_tets}\n")
+        for _ in range(mesh.n_tets):
+            f.write("10\n")    # VTK_TETRA
+        if point_data:
+            f.write(f"POINT_DATA {mesh.n_nodes}\n")
+            _write_attributes(f, point_data)
+        if cell_data:
+            f.write(f"CELL_DATA {mesh.n_tets}\n")
+            _write_attributes(f, cell_data)
+    return mesh.n_tets
+
+
+def _write_attributes(f, attributes: Dict[str, np.ndarray]) -> None:
+    for name, data in attributes.items():
+        data = np.asarray(data, dtype=np.float64)
+        safe = name.replace(" ", "_")
+        if data.ndim == 1:
+            f.write(f"SCALARS {safe} double 1\n")
+            f.write("LOOKUP_TABLE default\n")
+            for value in data:
+                f.write(f"{value:.10g}\n")
+        elif data.ndim == 2 and data.shape[1] == 3:
+            f.write(f"VECTORS {safe} double\n")
+            for x, y, z in data:
+                f.write(f"{x:.10g} {y:.10g} {z:.10g}\n")
+        else:
+            raise ValueError(
+                f"attribute {name!r}: expected (n,) or (n, 3) array"
+            )

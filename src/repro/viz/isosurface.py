@@ -1,0 +1,157 @@
+"""Marching tetrahedra: isosurface extraction over tet meshes.
+
+The core geometric kernel of the visualization substrate. Given node
+scalar values and an isovalue, each tetrahedron is classified by which of
+its four vertices lie inside (value >= isovalue); the 16 sign cases yield
+0, 1, or 2 triangles whose vertices are linear interpolations along the
+cut edges. The implementation is vectorized per case over all tets.
+
+A second per-node array can be *carried*: its values are interpolated onto
+the output triangle vertices with the same edge weights — used by the
+cutting-plane stage to paint a field onto the slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+# Tet edges as (vertex a, vertex b) pairs, indexed 0..5.
+_EDGES = np.array(
+    [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], dtype=np.int64
+)
+
+# mask (bit i set = vertex i inside) -> list of triangles, each a triple
+# of edge indices into _EDGES. Complementary masks reuse the same cut
+# edges with reversed winding.
+_CASES: Dict[int, List[Tuple[int, int, int]]] = {
+    0b0001: [(0, 1, 2)],
+    0b0010: [(0, 4, 3)],
+    0b0100: [(1, 3, 5)],
+    0b1000: [(2, 5, 4)],
+    0b0011: [(1, 2, 4), (1, 4, 3)],
+    0b0101: [(0, 3, 5), (0, 5, 2)],
+    0b0110: [(0, 1, 5), (0, 5, 4)],
+    0b1001: [(0, 4, 5), (0, 5, 1)],
+    0b1010: [(0, 5, 3), (0, 2, 5)],
+    0b1100: [(1, 4, 2), (1, 3, 4)],
+    0b0111: [(2, 4, 5)],
+    0b1011: [(1, 5, 3)],
+    0b1101: [(0, 3, 4)],
+    0b1110: [(0, 2, 1)],
+}
+
+
+@dataclass
+class TriangleSoup:
+    """Extraction output: triangle vertices and per-vertex scalars.
+
+    ``vertices``: (n, 3, 3) float64 — triangle corner positions.
+    ``values``:   (n, 3) float64 — the carried scalar at each corner
+    (the isovalue itself for plain isosurfaces).
+    """
+
+    vertices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        self.vertices = np.ascontiguousarray(
+            self.vertices, dtype=np.float64
+        ).reshape(-1, 3, 3)
+        self.values = np.ascontiguousarray(
+            self.values, dtype=np.float64
+        ).reshape(-1, 3)
+        if len(self.vertices) != len(self.values):
+            raise ValueError("vertices/values length mismatch")
+
+    @property
+    def n_triangles(self) -> int:
+        return len(self.vertices)
+
+    @classmethod
+    def empty(cls) -> "TriangleSoup":
+        return cls(np.empty((0, 3, 3)), np.empty((0, 3)))
+
+    @classmethod
+    def concatenate(cls, soups: List["TriangleSoup"]) -> "TriangleSoup":
+        soups = [s for s in soups if s.n_triangles]
+        if not soups:
+            return cls.empty()
+        return cls(
+            np.concatenate([s.vertices for s in soups]),
+            np.concatenate([s.values for s in soups]),
+        )
+
+
+def marching_tets(
+    nodes: np.ndarray,
+    tets: np.ndarray,
+    level_values: np.ndarray,
+    isovalue: float,
+    carry_values: Optional[np.ndarray] = None,
+) -> TriangleSoup:
+    """Extract the ``level_values == isovalue`` surface.
+
+    ``level_values`` is per-node; ``carry_values`` (per-node, optional)
+    is interpolated onto the triangle corners — when omitted the carried
+    value is ``level_values`` itself (so every output value equals the
+    isovalue, which is what a plain isosurface colors by).
+    """
+    nodes = np.asarray(nodes, dtype=np.float64)
+    tets = np.asarray(tets)
+    level_values = np.asarray(level_values, dtype=np.float64)
+    if len(level_values) != len(nodes):
+        raise ValueError(
+            f"{len(level_values)} level values for {len(nodes)} nodes"
+        )
+    if carry_values is None:
+        carry_values = level_values
+    else:
+        carry_values = np.asarray(carry_values, dtype=np.float64)
+        if len(carry_values) != len(nodes):
+            raise ValueError(
+                f"{len(carry_values)} carry values for {len(nodes)} nodes"
+            )
+
+    tet_values = level_values[tets]                       # (m, 4)
+    inside = tet_values >= isovalue
+    masks = (
+        inside[:, 0].astype(np.int8)
+        | (inside[:, 1] << 1)
+        | (inside[:, 2] << 2)
+        | (inside[:, 3] << 3)
+    )
+
+    pieces: List[TriangleSoup] = []
+    for mask, triangles in _CASES.items():
+        selected = np.nonzero(masks == mask)[0]
+        if not len(selected):
+            continue
+        sel_tets = tets[selected]                          # (k, 4)
+        sel_vals = tet_values[selected]                    # (k, 4)
+        # Interpolate every cut edge used by this case once.
+        edge_ids = sorted({e for tri in triangles for e in tri})
+        edge_pos = {}
+        edge_carry = {}
+        for edge in edge_ids:
+            a, b = _EDGES[edge]
+            fa = sel_vals[:, a]
+            fb = sel_vals[:, b]
+            denom = fb - fa
+            # Signs differ on a cut edge, so denom != 0; guard anyway for
+            # the fa == fb == isovalue corner case.
+            safe = np.where(np.abs(denom) < 1e-300, 1.0, denom)
+            t = np.clip((isovalue - fa) / safe, 0.0, 1.0)
+            pa = nodes[sel_tets[:, a]]
+            pb = nodes[sel_tets[:, b]]
+            edge_pos[edge] = pa + t[:, None] * (pb - pa)
+            ca = carry_values[sel_tets[:, a]]
+            cb = carry_values[sel_tets[:, b]]
+            edge_carry[edge] = ca + t * (cb - ca)
+        for tri in triangles:
+            verts = np.stack([edge_pos[e] for e in tri], axis=1)
+            vals = np.stack([edge_carry[e] for e in tri], axis=1)
+            pieces.append(TriangleSoup(verts, vals))
+    return TriangleSoup.concatenate(pieces)

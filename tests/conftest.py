@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.database import GBO
+from repro.core.schema import fluid_sample_schema
+from repro.gen.snapshot import SnapshotSpec, generate_dataset
+from repro.gen.titan import TitanConfig
+
+
+@pytest.fixture(scope="session")
+def small_dataset(tmp_path_factory):
+    """A small generated snapshot dataset shared across the session.
+
+    12 blocks, 4 snapshots, 2 files per snapshot — enough structure for
+    every io/viz integration test while staying fast.
+    """
+    directory = tmp_path_factory.mktemp("dataset")
+    spec = SnapshotSpec(
+        config=TitanConfig.scaled(0.15),
+        n_steps=4,
+        files_per_snapshot=2,
+    )
+    return generate_dataset(spec, str(directory))
+
+
+@pytest.fixture
+def gbo():
+    """A multi-thread GBO with a roomy budget; closed after the test."""
+    database = GBO(mem_mb=64)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def gbo_single():
+    """A single-thread (paper 'G') GBO; closed after the test."""
+    database = GBO(mem_mb=64, background_io=False)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def fluid_gbo(gbo):
+    """A GBO with the paper's Table-1 'fluid' record type committed."""
+    fluid_sample_schema().ensure(gbo)
+    return gbo

@@ -1,0 +1,90 @@
+"""The paper's camelCase API aliases."""
+
+import pytest
+
+from repro.core.compat import PAPER_ALIASES, PaperGBO, install_paper_aliases
+from repro.core.types import UNKNOWN, DataType
+
+
+def test_alias_table_covers_figure1_interfaces():
+    # The three interface groups of Figure 1 plus schema/memory calls.
+    for name in ("defineField", "defineRecord", "insertField",
+                 "commitRecordType", "newRecord", "allocFieldBuffer",
+                 "commitRecord", "getFieldBuffer", "getFieldBufferSize",
+                 "addUnit", "readUnit", "waitUnit", "finishUnit",
+                 "deleteUnit", "setMemSpace"):
+        assert name in PAPER_ALIASES
+
+
+def test_paper_gbo_speaks_camel_case():
+    """The paper's sample code, nearly verbatim."""
+    godiva = PaperGBO(400)
+    try:
+        godiva.defineField("block id", DataType.STRING, 11)
+        godiva.defineField("time-step id", DataType.STRING, 9)
+        godiva.defineField("x coordinates", DataType.DOUBLE, UNKNOWN)
+        godiva.defineField("x coordinates", DataType.DOUBLE, UNKNOWN)
+        godiva.defineField("pressure", DataType.DOUBLE, UNKNOWN)
+        godiva.defineField("temperature", DataType.DOUBLE, UNKNOWN)
+
+        godiva.defineRecord("fluid", 2)  # has 2 key fields
+        godiva.insertField("fluid", "block id", True)
+        godiva.insertField("fluid", "time-step id", True)
+        godiva.insertField("fluid", "x coordinates", False)
+        godiva.insertField("fluid", "pressure", False)
+        godiva.insertField("fluid", "temperature", False)
+        godiva.commitRecordType("fluid")
+
+        record = godiva.newRecord("fluid")
+        record.field("block id").write(b"block_0003$")
+        record.field("time-step id").write(b"0.000075$")
+        godiva.allocFieldBuffer(record, "pressure", 80_000)
+        godiva.commitRecord(record)
+
+        # "give me the address of the pressure data buffer of the block
+        # with ID block_0003 from the time-step with ID 0.000075"
+        buf = godiva.getFieldBuffer(
+            "fluid", "pressure", [b"block_0003$", b"0.000075$"]
+        )
+        assert len(buf) == 10_000
+        assert godiva.getFieldBufferSize(
+            "fluid", "pressure", [b"block_0003$", b"0.000075$"]
+        ) == 80_000
+
+        godiva.setMemSpace(300)
+    finally:
+        godiva.close()
+
+
+def test_paper_unit_interfaces():
+    def read_file(gbo, unit_name):
+        gbo.defineField("id", DataType.STRING, 8)
+        if not gbo.has_record_type("rec"):
+            gbo.defineRecord("rec", 1)
+            gbo.insertField("rec", "id", True)
+            gbo.commitRecordType("rec")
+        record = gbo.newRecord("rec")
+        record.field("id").write(unit_name.rjust(8)[-8:].encode())
+        gbo.commitRecord(record)
+
+    godiva = PaperGBO(400)
+    try:
+        godiva.addUnit("fluid_file1", read_file)
+        godiva.addUnit("fluid_file2", read_file)
+        godiva.waitUnit("fluid_file1")
+        godiva.deleteUnit("fluid_file1")
+        godiva.waitUnit("fluid_file2")
+        godiva.finishUnit("fluid_file2")
+        godiva.readUnit("fluid_file3", read_file)
+    finally:
+        godiva.close()
+
+
+def test_install_on_custom_subclass():
+    from repro.core.database import GBO
+
+    class MyGbo(GBO):
+        pass
+
+    install_paper_aliases(MyGbo)
+    assert MyGbo.addUnit is MyGbo.add_unit

@@ -1,0 +1,169 @@
+"""Unit tests for the record index and key normalization (section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RecordIndex, normalize_key_values
+from repro.core.record import Record
+from repro.core.types import UNKNOWN, DataType, FieldType, RecordType
+from repro.errors import DuplicateKeyError, KeyLookupError
+
+
+def make_type(name="fluid") -> RecordType:
+    rt = RecordType(name, num_keys=1)
+    rt.insert_field(FieldType("id", DataType.STRING, 4), True)
+    rt.insert_field(FieldType("data", DataType.DOUBLE, UNKNOWN), False)
+    rt.commit()
+    return rt
+
+
+def make_record(rt, key: bytes) -> Record:
+    record = Record(rt)
+    record.field("id").write(key)
+    return record
+
+
+class TestNormalizeKeyValues:
+    def test_bytes_passthrough(self):
+        assert normalize_key_values([b"ab"]) == (b"ab",)
+
+    def test_str_encoded(self):
+        assert normalize_key_values(["ab"]) == (b"ab",)
+
+    def test_bytearray_and_memoryview(self):
+        assert normalize_key_values(
+            [bytearray(b"ab"), memoryview(b"cd")]
+        ) == (b"ab", b"cd")
+
+    def test_numpy_buffer(self):
+        arr = np.array([1.5])
+        assert normalize_key_values([arr]) == (arr.tobytes(),)
+
+    def test_mixed(self):
+        assert normalize_key_values(
+            [b"a", "b"]
+        ) == (b"a", b"b")
+
+    def test_non_buffer_rejected(self):
+        with pytest.raises(TypeError):
+            normalize_key_values([object()])
+
+
+class TestRecordIndex:
+    def test_commit_and_lookup(self):
+        index = RecordIndex()
+        rt = make_type()
+        record = make_record(rt, b"A001")
+        key = index.commit(record)
+        index.track(record, "unit1")
+        assert key == (b"A001",)
+        assert index.lookup("fluid", (b"A001",)) is record
+        assert index.contains("fluid", (b"A001",))
+        assert index.count() == 1
+        assert index.count("fluid") == 1
+        assert index.count("other") == 0
+
+    def test_lookup_missing_raises(self):
+        index = RecordIndex()
+        with pytest.raises(KeyLookupError):
+            index.lookup("fluid", (b"A001",))
+
+    def test_duplicate_key_rejected(self):
+        index = RecordIndex()
+        rt = make_type()
+        index.commit(make_record(rt, b"A001"))
+        with pytest.raises(DuplicateKeyError):
+            index.commit(make_record(rt, b"A001"))
+
+    def test_same_key_different_types_ok(self):
+        index = RecordIndex()
+        a = make_record(make_type("a"), b"A001")
+        b = make_record(make_type("b"), b"A001")
+        index.commit(a)
+        index.commit(b)
+        assert index.lookup("a", (b"A001",)) is a
+        assert index.lookup("b", (b"A001",)) is b
+
+    def test_records_of_type_in_key_order(self):
+        index = RecordIndex()
+        rt = make_type()
+        for key in (b"C003", b"A001", b"B002"):
+            record = make_record(rt, key)
+            index.commit(record)
+            index.track(record, "u")
+        ids = [
+            r.field("id").as_bytes()
+            for r in index.records_of_type("fluid")
+        ]
+        assert ids == [b"A001", b"B002", b"C003"]
+
+    def test_drop_unit_removes_all(self):
+        index = RecordIndex()
+        rt = make_type()
+        for i, unit in enumerate(("u1", "u1", "u2")):
+            record = make_record(rt, f"A{i:03d}".encode())
+            index.commit(record)
+            index.track(record, unit)
+        dropped = index.drop_unit("u1")
+        assert len(dropped) == 2
+        assert index.count() == 1
+        assert not index.contains("fluid", (b"A000",))
+        assert index.contains("fluid", (b"A002",))
+        assert index.unit_records("u1") == []
+
+    def test_drop_unknown_unit_is_noop(self):
+        index = RecordIndex()
+        assert index.drop_unit("ghost") == []
+
+    def test_drop_record(self):
+        index = RecordIndex()
+        rt = make_type()
+        record = make_record(rt, b"A001")
+        index.commit(record)
+        index.track(record, "u1")
+        index.drop_record(record)
+        assert index.count() == 0
+        assert index.unit_records("u1") == []
+
+    def test_drop_uncommitted_record(self):
+        index = RecordIndex()
+        rt = make_type()
+        record = make_record(rt, b"A001")
+        index.track(record, None)  # unattached, never committed
+        index.drop_record(record)  # must not raise
+
+    def test_track_unattached(self):
+        index = RecordIndex()
+        rt = make_type()
+        record = make_record(rt, b"A001")
+        index.commit(record)
+        index.track(record, None)
+        assert record.unit_name is None
+        assert index.lookup("fluid", (b"A001",)) is record
+
+    def test_clear_returns_everything(self):
+        index = RecordIndex()
+        rt = make_type()
+        tracked = make_record(rt, b"A001")
+        index.commit(tracked)
+        index.track(tracked, "u")
+        loose = make_record(rt, b"A002")
+        index.track(loose, None)
+        records = index.clear()
+        assert set(records) == {tracked, loose}
+        assert index.count() == 0
+
+    def test_mutated_key_does_not_delete_other_record(self):
+        """The paper's caveat: mutating key buffers desynchronizes the
+        index. Dropping the stale record must not remove whichever
+        record now legitimately owns that key slot."""
+        index = RecordIndex()
+        rt = make_type()
+        first = make_record(rt, b"A001")
+        index.commit(first)
+        index.track(first, "u1")
+        # Application mutates the key buffer after commit (allowed).
+        first.field("id").write(b"ZZZZ")
+        index.drop_unit("u1")
+        # The slot under the *original* key was first's; it is gone.
+        assert not index.contains("fluid", (b"A001",))

@@ -1,0 +1,85 @@
+"""Unit tests for memory accounting (section 3.2 setMemSpace semantics)."""
+
+import pytest
+
+from repro.core.memory import MB, RECORD_OVERHEAD_BYTES, MemoryAccountant
+from repro.errors import MemoryBudgetError
+
+
+def test_mb_constant():
+    assert MB == 1024 * 1024
+    assert RECORD_OVERHEAD_BYTES > 0
+
+
+def test_initial_state():
+    acct = MemoryAccountant(1000)
+    assert acct.budget_bytes == 1000
+    assert acct.used_bytes == 0
+    assert acct.available_bytes == 1000
+    assert acct.high_water_bytes == 0
+
+
+def test_zero_or_negative_budget_rejected():
+    with pytest.raises(MemoryBudgetError):
+        MemoryAccountant(0)
+    with pytest.raises(MemoryBudgetError):
+        MemoryAccountant(-5)
+
+
+def test_charge_release_cycle():
+    acct = MemoryAccountant(1000)
+    acct.charge(400)
+    assert acct.used_bytes == 400
+    assert acct.available_bytes == 600
+    acct.release(150)
+    assert acct.used_bytes == 250
+
+
+def test_fits_and_can_ever_fit():
+    acct = MemoryAccountant(1000)
+    acct.charge(800)
+    assert acct.fits(200)
+    assert not acct.fits(201)
+    assert acct.can_ever_fit(1000)
+    assert not acct.can_ever_fit(1001)
+
+
+def test_high_water_tracks_peak():
+    acct = MemoryAccountant(1000)
+    acct.charge(700)
+    acct.release(500)
+    acct.charge(100)
+    assert acct.high_water_bytes == 700
+    assert acct.used_bytes == 300
+
+
+def test_negative_charge_rejected():
+    acct = MemoryAccountant(1000)
+    with pytest.raises(ValueError):
+        acct.charge(-1)
+    with pytest.raises(ValueError):
+        acct.release(-1)
+
+
+def test_over_release_is_an_accounting_bug():
+    acct = MemoryAccountant(1000)
+    acct.charge(10)
+    with pytest.raises(MemoryBudgetError, match="accounting bug"):
+        acct.release(11)
+
+
+def test_set_budget_allows_overcommit_temporarily():
+    acct = MemoryAccountant(1000)
+    acct.charge(900)
+    acct.set_budget(500)   # shrink below usage: allowed
+    assert acct.budget_bytes == 500
+    assert acct.used_bytes == 900
+    assert not acct.fits(1)
+    acct.release(600)
+    assert acct.fits(100)
+
+
+def test_set_budget_invalid():
+    acct = MemoryAccountant(1000)
+    with pytest.raises(MemoryBudgetError):
+        acct.set_budget(0)

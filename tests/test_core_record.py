@@ -1,0 +1,158 @@
+"""Unit tests for records and field buffers (section 3.1, Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.record import FieldBuffer, Record
+from repro.core.types import UNKNOWN, DataType, FieldType, RecordType
+from repro.errors import RecordStateError, SchemaError
+
+
+def make_type() -> RecordType:
+    rt = RecordType("fluid", num_keys=2)
+    rt.insert_field(FieldType("block id", DataType.STRING, 11), True)
+    rt.insert_field(FieldType("time-step id", DataType.STRING, 9), True)
+    rt.insert_field(
+        FieldType("pressure", DataType.DOUBLE, UNKNOWN), False
+    )
+    rt.insert_field(FieldType("conn", DataType.INT32, UNKNOWN), False)
+    rt.commit()
+    return rt
+
+
+class TestFieldBuffer:
+    def test_known_size_allocated_eagerly(self):
+        buf = FieldBuffer(FieldType("k", DataType.STRING, 11))
+        assert buf.allocated
+        assert buf.size == 11
+
+    def test_unknown_size_starts_unallocated(self):
+        buf = FieldBuffer(FieldType("p", DataType.DOUBLE, UNKNOWN))
+        assert not buf.allocated
+        with pytest.raises(RecordStateError):
+            buf.size
+        with pytest.raises(RecordStateError):
+            buf.as_array()
+        with pytest.raises(RecordStateError):
+            buf.as_bytes()
+        with pytest.raises(RecordStateError):
+            buf.write(b"x")
+
+    def test_allocate(self):
+        buf = FieldBuffer(FieldType("p", DataType.DOUBLE, UNKNOWN))
+        buf.allocate(80)
+        assert buf.allocated
+        assert buf.size == 80
+        assert len(buf.as_array()) == 10
+
+    def test_double_allocate_rejected(self):
+        buf = FieldBuffer(FieldType("p", DataType.DOUBLE, UNKNOWN))
+        buf.allocate(80)
+        with pytest.raises(RecordStateError, match="already allocated"):
+            buf.allocate(80)
+
+    def test_allocate_fixed_size_rejected(self):
+        buf = FieldBuffer(FieldType("k", DataType.STRING, 11))
+        with pytest.raises(RecordStateError, match="fixed size"):
+            buf.allocate(11)
+
+    def test_allocate_misaligned_rejected(self):
+        buf = FieldBuffer(FieldType("p", DataType.DOUBLE, UNKNOWN))
+        with pytest.raises(SchemaError):
+            buf.allocate(81)
+
+    def test_allocate_negative_rejected(self):
+        buf = FieldBuffer(FieldType("p", DataType.DOUBLE, UNKNOWN))
+        with pytest.raises(ValueError):
+            buf.allocate(-8)
+
+    def test_as_array_is_zero_copy_view(self):
+        buf = FieldBuffer(FieldType("p", DataType.DOUBLE, UNKNOWN))
+        buf.allocate(24)
+        view = buf.as_array()
+        view[:] = [1.0, 2.0, 3.0]
+        again = buf.as_array()
+        assert list(again) == [1.0, 2.0, 3.0]
+
+    def test_write_bytes_and_str(self):
+        buf = FieldBuffer(FieldType("k", DataType.STRING, 5))
+        buf.write(b"abcd$")
+        assert buf.as_bytes() == b"abcd$"
+        buf.write("efgh$")
+        assert buf.as_bytes() == b"efgh$"
+
+    def test_write_ndarray(self):
+        buf = FieldBuffer(FieldType("p", DataType.DOUBLE, UNKNOWN))
+        buf.allocate(24)
+        buf.write(np.array([1.5, 2.5, 3.5]))
+        assert list(buf.as_array()) == [1.5, 2.5, 3.5]
+
+    def test_write_wrong_size_rejected(self):
+        buf = FieldBuffer(FieldType("k", DataType.STRING, 5))
+        with pytest.raises(ValueError, match="write of 3 bytes"):
+            buf.write(b"abc")
+
+    def test_release(self):
+        buf = FieldBuffer(FieldType("k", DataType.STRING, 11))
+        assert buf.release() == 11
+        assert not buf.allocated
+        assert buf.release() == 0
+
+
+class TestRecord:
+    def test_uncommitted_type_rejected(self):
+        rt = RecordType("r", num_keys=1)
+        rt.insert_field(FieldType("k", DataType.STRING, 4), True)
+        with pytest.raises(SchemaError, match="not committed"):
+            Record(rt)
+
+    def test_figure2_layout(self):
+        """The exact record instance of Figure 2."""
+        record = Record(make_type())
+        record.field("block id").write(b"block_0001$")
+        record.field("time-step id").write(b"0.000025$")
+        record.field("pressure").allocate(80_000)
+        assert record.field("block id").size == 11
+        assert record.field("time-step id").size == 9
+        assert record.field("pressure").size == 80_000
+
+    def test_key_tuple(self):
+        record = Record(make_type())
+        record.field("block id").write(b"block_0001$")
+        record.field("time-step id").write(b"0.000025$")
+        assert record.key_tuple() == (b"block_0001$", b"0.000025$")
+
+    def test_key_tuple_order_follows_key_declaration(self):
+        rt = RecordType("r", num_keys=2)
+        rt.insert_field(FieldType("second", DataType.STRING, 1), True)
+        rt.insert_field(FieldType("first", DataType.STRING, 1), True)
+        rt.commit()
+        record = Record(rt)
+        record.field("second").write(b"S")
+        record.field("first").write(b"F")
+        assert record.key_tuple() == (b"S", b"F")
+
+    def test_unknown_field_rejected(self):
+        record = Record(make_type())
+        with pytest.raises(SchemaError, match="no field"):
+            record.field("ghost")
+
+    def test_allocated_bytes(self):
+        record = Record(make_type())
+        assert record.allocated_bytes() == 20  # the two key buffers
+        record.field("pressure").allocate(800)
+        assert record.allocated_bytes() == 820
+
+    def test_release_all(self):
+        record = Record(make_type())
+        record.field("pressure").allocate(800)
+        assert record.release_all() == 820
+        assert record.allocated_bytes() == 0
+
+    def test_mark_committed(self):
+        record = Record(make_type())
+        assert not record.committed
+        assert record.committed_key is None
+        record.mark_committed((b"a", b"b"))
+        assert record.committed
+        assert record.committed_key == (b"a", b"b")

@@ -1,0 +1,39 @@
+"""Unit tests for the GODIVA statistics object."""
+
+from repro.core.stats import GodivaStats
+
+
+def test_defaults_zero():
+    stats = GodivaStats()
+    assert stats.units_added == 0
+    assert stats.wait_seconds == 0.0
+    assert stats.visible_io_seconds == 0.0
+
+
+def test_visible_io_is_wait_plus_foreground():
+    stats = GodivaStats()
+    stats.wait_seconds = 1.5
+    stats.foreground_read_seconds = 2.0
+    stats.io_thread_read_seconds = 99.0  # background: not visible
+    assert stats.visible_io_seconds == 3.5
+
+
+def test_snapshot_contains_every_field_plus_derived():
+    stats = GodivaStats()
+    stats.units_added = 3
+    snap = stats.snapshot()
+    assert snap["units_added"] == 3
+    assert "visible_io_seconds" in snap
+    assert "evictions" in snap
+    # snapshot is a copy
+    snap["units_added"] = 99
+    assert stats.units_added == 3
+
+
+def test_reset():
+    stats = GodivaStats()
+    stats.units_added = 5
+    stats.wait_seconds = 1.0
+    stats.reset()
+    assert stats.units_added == 0
+    assert stats.wait_seconds == 0.0

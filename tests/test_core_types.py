@@ -1,0 +1,167 @@
+"""Unit tests for the field/record type system (section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import UNKNOWN, DataType, FieldType, RecordType
+from repro.errors import SchemaError
+
+
+class TestDataType:
+    def test_itemsizes(self):
+        assert DataType.STRING.itemsize == 1
+        assert DataType.BYTE.itemsize == 1
+        assert DataType.INT32.itemsize == 4
+        assert DataType.INT64.itemsize == 8
+        assert DataType.FLOAT.itemsize == 4
+        assert DataType.DOUBLE.itemsize == 8
+
+    def test_numpy_dtypes_little_endian(self):
+        assert DataType.DOUBLE.numpy_dtype == np.dtype("<f8")
+        assert DataType.INT32.numpy_dtype == np.dtype("<i4")
+        assert DataType.STRING.numpy_dtype == np.dtype("u1")
+
+
+class TestUnknownSentinel:
+    def test_singleton(self):
+        from repro.core.types import _Unknown
+
+        assert _Unknown() is UNKNOWN
+        assert repr(UNKNOWN) == "UNKNOWN"
+
+    def test_pickle_preserves_identity(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(UNKNOWN)) is UNKNOWN
+
+
+class TestFieldType:
+    def test_known_size(self):
+        ft = FieldType("pressure", DataType.DOUBLE, 800)
+        assert ft.has_known_size
+        assert ft.size == 800
+
+    def test_unknown_size(self):
+        ft = FieldType("pressure", DataType.DOUBLE, UNKNOWN)
+        assert not ft.has_known_size
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldType("", DataType.DOUBLE, 8)
+
+    def test_bad_data_type_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldType("x", "DOUBLE", 8)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldType("x", DataType.DOUBLE, -8)
+
+    def test_misaligned_size_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldType("x", DataType.DOUBLE, 10)
+
+    def test_bool_size_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldType("x", DataType.BYTE, True)
+
+    def test_frozen_equality(self):
+        a = FieldType("x", DataType.DOUBLE, 8)
+        b = FieldType("x", DataType.DOUBLE, 8)
+        assert a == b
+
+
+class TestRecordType:
+    def _fluid(self):
+        rt = RecordType("fluid", num_keys=2)
+        rt.insert_field(FieldType("block id", DataType.STRING, 11), True)
+        rt.insert_field(
+            FieldType("time-step id", DataType.STRING, 9), True
+        )
+        rt.insert_field(
+            FieldType("pressure", DataType.DOUBLE, UNKNOWN), False
+        )
+        return rt
+
+    def test_commit_happy_path(self):
+        rt = self._fluid()
+        assert not rt.committed
+        rt.commit()
+        assert rt.committed
+        assert rt.key_field_names == ("block id", "time-step id")
+        assert rt.field_names == (
+            "block id", "time-step id", "pressure"
+        )
+
+    def test_key_order_is_insertion_order(self):
+        rt = RecordType("r", num_keys=2)
+        rt.insert_field(FieldType("k2", DataType.STRING, 4), True)
+        rt.insert_field(FieldType("k1", DataType.STRING, 4), True)
+        rt.commit()
+        assert rt.key_field_names == ("k2", "k1")
+
+    def test_zero_keys_rejected(self):
+        with pytest.raises(SchemaError):
+            RecordType("r", num_keys=0)
+
+    def test_commit_with_missing_keys_rejected(self):
+        rt = RecordType("r", num_keys=2)
+        rt.insert_field(FieldType("k", DataType.STRING, 4), True)
+        with pytest.raises(SchemaError, match="declared 2 key fields"):
+            rt.commit()
+
+    def test_too_many_keys_rejected(self):
+        rt = RecordType("r", num_keys=1)
+        rt.insert_field(FieldType("k1", DataType.STRING, 4), True)
+        with pytest.raises(SchemaError):
+            rt.insert_field(FieldType("k2", DataType.STRING, 4), True)
+
+    def test_unknown_size_key_rejected(self):
+        rt = RecordType("r", num_keys=1)
+        with pytest.raises(SchemaError, match="known size"):
+            rt.insert_field(
+                FieldType("k", DataType.DOUBLE, UNKNOWN), True
+            )
+
+    def test_duplicate_field_rejected(self):
+        rt = self._fluid()
+        with pytest.raises(SchemaError, match="already has field"):
+            rt.insert_field(
+                FieldType("pressure", DataType.DOUBLE, UNKNOWN), False
+            )
+
+    def test_empty_commit_rejected(self):
+        rt = RecordType("r", num_keys=1)
+        with pytest.raises(SchemaError, match="no fields"):
+            rt.commit()
+
+    def test_double_commit_rejected(self):
+        rt = self._fluid()
+        rt.commit()
+        with pytest.raises(SchemaError, match="already committed"):
+            rt.commit()
+
+    def test_insert_after_commit_rejected(self):
+        rt = self._fluid()
+        rt.commit()
+        with pytest.raises(SchemaError, match="committed"):
+            rt.insert_field(FieldType("t", DataType.DOUBLE, 8), False)
+
+    def test_field_lookup(self):
+        rt = self._fluid()
+        assert rt.field("pressure").data_type is DataType.DOUBLE
+        assert rt.has_field("pressure")
+        assert not rt.has_field("ghost")
+        with pytest.raises(SchemaError):
+            rt.field("ghost")
+
+    def test_is_key(self):
+        rt = self._fluid()
+        assert rt.is_key("block id")
+        assert not rt.is_key("pressure")
+        with pytest.raises(SchemaError):
+            rt.is_key("ghost")
+
+    def test_fixed_size_bytes(self):
+        rt = self._fluid()
+        assert rt.fixed_size_bytes() == 11 + 9  # UNKNOWN excluded

@@ -1,0 +1,235 @@
+"""GBO unit lifecycle: add/read/wait/finish/delete (section 3.2)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.database import GBO
+from repro.core.schema import RecordSchema, SchemaField
+from repro.core.types import DataType
+from repro.core.units import UnitState
+from repro.errors import (
+    ReadFunctionError,
+    UnitStateError,
+    UnknownUnitError,
+)
+
+ITEM = RecordSchema("item", (
+    SchemaField("id", DataType.STRING, 8, is_key=True),
+    SchemaField("data", DataType.DOUBLE),
+))
+
+
+def simple_reader(nbytes=80):
+    """A read callback creating one record named after the unit."""
+
+    def read_fn(gbo, unit_name):
+        ITEM.ensure(gbo)
+        record = gbo.new_record("item")
+        record.field("id").write(unit_name.ljust(8)[:8].encode())
+        gbo.alloc_field_buffer(record, "data", nbytes)
+        record.field("data").as_array()[:] = 1.25
+        gbo.commit_record(record)
+
+    return read_fn
+
+
+@pytest.fixture(params=[True, False], ids=["multi-thread", "single-thread"])
+def any_gbo(request):
+    gbo = GBO(mem_mb=8, background_io=request.param)
+    yield gbo
+    gbo.close()
+
+
+class TestAddWaitFinishDelete:
+    def test_batch_mode_pattern(self, any_gbo):
+        """The section-3.3 sample program: add all, wait, process,
+        delete — in both library builds."""
+        for i in range(4):
+            any_gbo.add_unit(f"u{i}", simple_reader())
+        for i in range(4):
+            name = f"u{i}"
+            any_gbo.wait_unit(name)
+            data = any_gbo.get_field_buffer(
+                "item", "data", [name.ljust(8).encode()]
+            )
+            assert (data == 1.25).all()
+            any_gbo.delete_unit(name)
+            assert any_gbo.unit_state(name) is UnitState.DELETED
+        assert any_gbo.stats.units_deleted == 4
+
+    def test_add_requires_read_fn(self, any_gbo):
+        with pytest.raises(ValueError):
+            any_gbo.add_unit("u", None)
+
+    def test_add_duplicate_active_raises(self, any_gbo):
+        any_gbo.add_unit("u", simple_reader())
+        any_gbo.wait_unit("u")
+        with pytest.raises(UnitStateError):
+            any_gbo.add_unit("u", simple_reader())
+
+    def test_wait_unknown_raises(self, any_gbo):
+        with pytest.raises(UnknownUnitError):
+            any_gbo.wait_unit("ghost")
+
+    def test_finish_unknown_raises(self, any_gbo):
+        with pytest.raises(UnknownUnitError):
+            any_gbo.finish_unit("ghost")
+
+    def test_delete_unknown_raises(self, any_gbo):
+        with pytest.raises(UnknownUnitError):
+            any_gbo.delete_unit("ghost")
+
+    def test_finish_before_resident_raises(self, any_gbo):
+        if any_gbo.background_io:
+            pytest.skip("queued state is transient with an I/O thread")
+        any_gbo.add_unit("u", simple_reader())
+        with pytest.raises(UnitStateError):
+            any_gbo.finish_unit("u")
+
+    def test_delete_queued_unit_cancels(self, gbo_single):
+        gbo_single.add_unit("u", simple_reader())
+        gbo_single.delete_unit("u")
+        assert gbo_single.unit_state("u") is UnitState.DELETED
+        with pytest.raises(UnitStateError):
+            gbo_single.wait_unit("u")
+
+    def test_delete_is_idempotent(self, any_gbo):
+        any_gbo.add_unit("u", simple_reader())
+        any_gbo.wait_unit("u")
+        any_gbo.delete_unit("u")
+        any_gbo.delete_unit("u")  # no-op
+
+    def test_delete_removes_records(self, any_gbo):
+        any_gbo.add_unit("u", simple_reader())
+        any_gbo.wait_unit("u")
+        assert any_gbo.record_count("item") == 1
+        used = any_gbo.mem_used_bytes
+        any_gbo.delete_unit("u")
+        assert any_gbo.record_count("item") == 0
+        assert any_gbo.mem_used_bytes < used
+
+    def test_wait_twice_is_hit(self, any_gbo):
+        any_gbo.add_unit("u", simple_reader())
+        any_gbo.wait_unit("u")
+        hits_before = any_gbo.stats.wait_hits
+        any_gbo.wait_unit("u")
+        assert any_gbo.stats.wait_hits == hits_before + 1
+
+    def test_is_resident_and_list_units(self, any_gbo):
+        any_gbo.add_unit("u", simple_reader())
+        any_gbo.wait_unit("u")
+        assert any_gbo.is_resident("u")
+        assert not any_gbo.is_resident("ghost")
+        assert ("u", UnitState.RESIDENT) in any_gbo.list_units()
+        assert any_gbo.resident_bytes_of("u") > 0
+        with pytest.raises(UnknownUnitError):
+            any_gbo.resident_bytes_of("ghost")
+
+
+class TestReadUnit:
+    def test_read_unit_foreground(self, any_gbo):
+        """Interactive mode: explicit blocking read (section 3.2)."""
+        any_gbo.read_unit("u", simple_reader())
+        assert any_gbo.is_resident("u")
+        assert any_gbo.stats.units_read_foreground >= 1
+
+    def test_read_unit_unknown_without_fn_raises(self, any_gbo):
+        with pytest.raises(UnknownUnitError):
+            any_gbo.read_unit("ghost")
+
+    def test_read_unit_hit_on_resident(self, any_gbo):
+        any_gbo.read_unit("u", simple_reader())
+        before = any_gbo.stats.wait_hits
+        any_gbo.read_unit("u")
+        assert any_gbo.stats.wait_hits == before + 1
+
+    def test_read_unit_failure_raises_and_marks_failed(self, any_gbo):
+        def broken(gbo, unit_name):
+            raise IOError("corrupt file")
+
+        with pytest.raises(ReadFunctionError) as excinfo:
+            any_gbo.read_unit("bad", broken)
+        assert isinstance(excinfo.value.__cause__, IOError)
+        assert any_gbo.unit_state("bad") is UnitState.FAILED
+        assert any_gbo.stats.units_failed == 1
+
+    def test_read_unit_retry_after_failure(self, any_gbo):
+        calls = {"n": 0}
+
+        def flaky(gbo, unit_name):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise IOError("transient")
+            simple_reader()(gbo, unit_name)
+
+        with pytest.raises(ReadFunctionError):
+            any_gbo.read_unit("u", flaky)
+        any_gbo.read_unit("u")  # retries with the stored callback
+        assert any_gbo.is_resident("u")
+
+    def test_failed_partial_records_are_freed(self, any_gbo):
+        def partial(gbo, unit_name):
+            ITEM.ensure(gbo)
+            record = gbo.new_record("item")
+            record.field("id").write(b"partial_")
+            gbo.alloc_field_buffer(record, "data", 80)
+            gbo.commit_record(record)
+            raise IOError("died after first record")
+
+        with pytest.raises(ReadFunctionError):
+            any_gbo.read_unit("bad", partial)
+        assert any_gbo.record_count("item") == 0
+        assert any_gbo.mem_used_bytes == 0
+
+
+class TestWaitFailurePropagation:
+    def test_wait_on_failed_prefetch_raises(self):
+        def broken(gbo, unit_name):
+            raise ValueError("bad data")
+
+        with GBO(mem_mb=8) as gbo:
+            gbo.add_unit("u", broken)
+            with pytest.raises(ReadFunctionError) as excinfo:
+                gbo.wait_unit("u")
+            assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_single_thread_wait_failure(self, gbo_single):
+        def broken(gbo, unit_name):
+            raise ValueError("bad data")
+
+        gbo_single.add_unit("u", broken)
+        with pytest.raises(ReadFunctionError):
+            gbo_single.wait_unit("u")
+
+    def test_readd_failed_unit(self, gbo_single):
+        def broken(gbo, unit_name):
+            raise ValueError("bad data")
+
+        gbo_single.add_unit("u", broken)
+        with pytest.raises(ReadFunctionError):
+            gbo_single.wait_unit("u")
+        gbo_single.add_unit("u", simple_reader())  # re-add allowed
+        gbo_single.wait_unit("u")
+        assert gbo_single.is_resident("u")
+
+
+class TestRefCounts:
+    def test_finish_makes_evictable_only_at_zero_refs(self, gbo_single):
+        gbo_single.add_unit("u", simple_reader())
+        gbo_single.wait_unit("u")   # ref 1
+        gbo_single.wait_unit("u")   # ref 2
+        gbo_single.finish_unit("u")  # ref 1 — not evictable yet
+        assert len(gbo_single._policy) == 0
+        gbo_single.finish_unit("u")  # ref 0 — evictable now
+        assert "u" in gbo_single._policy
+
+    def test_rewait_removes_from_evictable_set(self, gbo_single):
+        gbo_single.add_unit("u", simple_reader())
+        gbo_single.wait_unit("u")
+        gbo_single.finish_unit("u")
+        assert "u" in gbo_single._policy
+        gbo_single.wait_unit("u")   # hit re-acquires
+        assert "u" not in gbo_single._policy

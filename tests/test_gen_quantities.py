@@ -1,0 +1,110 @@
+"""Synthetic physical fields: shapes, determinism, physics relations."""
+
+import numpy as np
+import pytest
+
+from repro.gen.quantities import (
+    ELEMENT_FIELDS,
+    NODE_FIELDS,
+    acceleration,
+    displacement,
+    element_fields,
+    node_fields,
+    plastic_strain,
+    stress_tensor,
+    temperature,
+    velocity,
+    von_mises,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(42)
+    pts = rng.uniform(-1.5, 1.5, size=(200, 3))
+    pts[:, 2] = rng.uniform(0, 10, size=200)
+    return pts
+
+
+def test_field_registries_match_paper_inventory():
+    """Section 4.2: stress scalar + six tensor components +
+    displacement/velocity/acceleration vectors + restart extras."""
+    assert NODE_FIELDS["displacement"] == 3
+    assert NODE_FIELDS["velocity"] == 3
+    assert NODE_FIELDS["acceleration"] == 3
+    assert NODE_FIELDS["ave_stress"] == 1
+    for comp in ("s11", "s22", "s33", "s12", "s13", "s23"):
+        assert NODE_FIELDS[comp] == 1
+    assert "plastic_strain" in ELEMENT_FIELDS
+
+
+def test_shapes(points):
+    t = 1e-4
+    nf = node_fields(points, t)
+    assert set(nf) == set(NODE_FIELDS)
+    for name, comps in NODE_FIELDS.items():
+        expected = (len(points), 3) if comps == 3 else (len(points),)
+        assert nf[name].shape == expected, name
+    ef = element_fields(points, t)
+    assert set(ef) == set(ELEMENT_FIELDS)
+    assert ef["plastic_strain"].shape == (len(points),)
+
+
+def test_determinism(points):
+    a = node_fields(points, 5e-5)
+    b = node_fields(points, 5e-5)
+    for name in a:
+        assert np.array_equal(a[name], b[name])
+
+
+def test_time_dependence(points):
+    a = node_fields(points, 0.0)["velocity"]
+    b = node_fields(points, 0.5)["velocity"]
+    assert not np.allclose(a, b)
+
+
+def test_acceleration_is_second_derivative(points):
+    """a = -omega^2 u holds analytically for the breathing mode."""
+    t = 0.123
+    u = displacement(points, t)
+    a = acceleration(points, t)
+    ratio = a[np.abs(u) > 1e-9] / u[np.abs(u) > 1e-9]
+    assert np.allclose(ratio, ratio.flat[0])
+    assert ratio.flat[0] < 0
+
+
+def test_velocity_matches_numeric_derivative(points):
+    t, dt = 0.2, 1e-7
+    numeric = (
+        displacement(points, t + dt) - displacement(points, t - dt)
+    ) / (2 * dt)
+    assert np.allclose(velocity(points, t), numeric, atol=1e-4)
+
+
+def test_temperature_hot_at_bore(points):
+    temps = temperature(points, 0.0)
+    assert temps.min() >= 300.0
+    radii = np.linalg.norm(points[:, :2], axis=1)
+    inner = temps[radii < 0.6].mean()
+    outer = temps[radii > 1.2].mean()
+    assert inner > outer
+
+
+def test_von_mises_nonnegative_and_zero_for_hydrostatic(points):
+    tensor = stress_tensor(points, 0.0)
+    vm = von_mises(tensor)
+    assert (vm >= 0).all()
+    hydrostatic = np.tile([-5e6, -5e6, -5e6, 0, 0, 0], (4, 1))
+    assert np.allclose(von_mises(hydrostatic), 0.0)
+
+
+def test_von_mises_pure_shear():
+    shear = np.array([[0.0, 0.0, 0.0, 1e6, 0.0, 0.0]])
+    assert von_mises(shear)[0] == pytest.approx(np.sqrt(3) * 1e6)
+
+
+def test_plastic_strain_monotone_in_time(points):
+    early = plastic_strain(points, 1e-4)
+    late = plastic_strain(points, 2e-4)
+    assert (late >= early).all()
+    assert (early >= 0).all()

@@ -1,0 +1,139 @@
+"""Snapshot dataset generation: layout, manifest, key formats."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.gen.quantities import ELEMENT_FIELDS, NODE_FIELDS
+from repro.gen.snapshot import (
+    BLOCK_ID_SIZE,
+    TIMESTEP_ID_SIZE,
+    SnapshotSpec,
+    block_key,
+    generate_dataset,
+    load_manifest,
+    timestep_id,
+)
+from repro.gen.titan import TitanConfig
+from repro.io.sdf import SdfReader
+
+
+class TestKeyFormats:
+    def test_timestep_id_is_nine_bytes(self):
+        """Figure 2: '0.000025$' — 9 bytes with the terminator."""
+        tsid = timestep_id(25e-6)
+        assert tsid == "0.000025$"
+        assert len(tsid) == TIMESTEP_ID_SIZE
+
+    def test_timestep_id_truncates_precision(self):
+        assert len(timestep_id(1.0 / 3.0)) == TIMESTEP_ID_SIZE
+
+    def test_block_key_is_eleven_bytes(self):
+        """Figure 2: 'block_0001$' — 11 bytes with the terminator."""
+        key = block_key("block_0001")
+        assert key == "block_0001$"
+        assert len(key) == BLOCK_ID_SIZE
+
+
+class TestSpecValidation:
+    def test_bad_steps(self):
+        with pytest.raises(ValueError):
+            SnapshotSpec(config=TitanConfig.scaled(0.1), n_steps=0)
+
+    def test_bad_files(self):
+        with pytest.raises(ValueError):
+            SnapshotSpec(config=TitanConfig.scaled(0.1),
+                         files_per_snapshot=0)
+
+    def test_step_time(self):
+        spec = SnapshotSpec(config=TitanConfig.scaled(0.1), dt=2.0)
+        assert spec.step_time(0) == 2.0
+        assert spec.step_time(3) == 8.0
+
+
+class TestGeneratedDataset:
+    def test_manifest_roundtrip(self, small_dataset):
+        reloaded = load_manifest(small_dataset.directory)
+        assert reloaded.n_blocks == small_dataset.n_blocks
+        assert reloaded.block_ids == small_dataset.block_ids
+        assert len(reloaded.snapshots) == len(small_dataset.snapshots)
+        assert reloaded.snapshots[0].tsid == \
+            small_dataset.snapshots[0].tsid
+
+    def test_files_per_snapshot(self, small_dataset):
+        for entry in small_dataset.snapshots:
+            assert len(entry.files) == 2
+            for path in small_dataset.snapshot_paths(entry.step):
+                assert os.path.exists(path)
+
+    def test_every_block_in_exactly_one_file(self, small_dataset):
+        seen = []
+        for path in small_dataset.snapshot_paths(0):
+            with SdfReader(path) as reader:
+                attrs = reader.file_attributes()
+                seen.extend(
+                    b for b in attrs["block_ids"].split(",") if b
+                )
+        assert sorted(seen) == sorted(small_dataset.block_ids)
+
+    def test_file_contains_all_fields_per_block(self, small_dataset):
+        path = small_dataset.snapshot_paths(0)[0]
+        with SdfReader(path) as reader:
+            attrs = reader.file_attributes()
+            block = attrs["block_ids"].split(",")[0]
+            names = set(reader.dataset_names)
+            for field in (
+                ["coords", "conn"] + list(NODE_FIELDS)
+                + list(ELEMENT_FIELDS)
+            ):
+                assert f"{field}:{block}" in names
+
+    def test_dataset_attrs_carry_keys(self, small_dataset):
+        path = small_dataset.snapshot_paths(0)[0]
+        tsid = small_dataset.snapshots[0].tsid
+        with SdfReader(path) as reader:
+            attrs = reader.file_attributes()
+            block = attrs["block_ids"].split(",")[0]
+            ds_attrs = reader.attributes(f"coords:{block}")
+            assert ds_attrs["block_id"] == block
+            assert ds_attrs["timestep"] == tsid
+
+    def test_mesh_constant_fields_vary_across_steps(
+        self, small_dataset
+    ):
+        block = small_dataset.block_ids[0]
+        coords, velocities = [], []
+        for step in range(2):
+            path = small_dataset.snapshot_paths(step)[0]
+            with SdfReader(path) as reader:
+                coords.append(reader.read(f"coords:{block}"))
+                velocities.append(reader.read(f"velocity:{block}"))
+        assert np.array_equal(coords[0], coords[1])
+        assert not np.allclose(velocities[0], velocities[1])
+
+    def test_field_sizes_consistent(self, small_dataset):
+        path = small_dataset.snapshot_paths(0)[0]
+        with SdfReader(path) as reader:
+            attrs = reader.file_attributes()
+            block = attrs["block_ids"].split(",")[0]
+            n_nodes = reader.info(f"coords:{block}").shape[0]
+            n_tets = reader.info(f"conn:{block}").shape[0]
+            assert reader.info(f"velocity:{block}").shape == \
+                (n_nodes, 3)
+            assert reader.info(f"ave_stress:{block}").shape == \
+                (n_nodes,)
+            assert reader.info(f"plastic_strain:{block}").shape == \
+                (n_tets,)
+
+    def test_cli_main(self, tmp_path):
+        from repro.gen.snapshot import main
+
+        out = str(tmp_path / "cli_dataset")
+        code = main([
+            "--out", out, "--scale", "0.1", "--steps", "2",
+            "--files-per-snapshot", "2",
+        ])
+        assert code == 0
+        manifest = load_manifest(out)
+        assert len(manifest.snapshots) == 2

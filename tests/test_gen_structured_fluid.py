@@ -1,0 +1,92 @@
+"""The Table 1 / Figure 2 fluid-block example — exact sizes."""
+
+import pytest
+
+from repro.gen.structured_fluid import (
+    fluid_block_arrays,
+    make_fluid_block_record,
+)
+
+
+def test_figure2_exact_sizes():
+    """Figure 2: x/y coords 808 bytes (101 doubles); pressure and
+    temperature 80 000 bytes (10 000 doubles)."""
+    arrays = fluid_block_arrays()
+    assert arrays["x coordinates"].nbytes == 808
+    assert arrays["y coordinates"].nbytes == 808
+    assert arrays["pressure"].nbytes == 80_000
+    assert arrays["temperature"].nbytes == 80_000
+
+
+def test_custom_grid_sizes():
+    arrays = fluid_block_arrays(nx=10, ny=20)
+    assert len(arrays["x coordinates"]) == 11
+    assert len(arrays["y coordinates"]) == 21
+    assert len(arrays["pressure"]) == 200
+
+
+def test_physical_plausibility():
+    arrays = fluid_block_arrays()
+    assert arrays["pressure"].min() > 0
+    assert arrays["temperature"].min() >= 300.0
+
+
+def test_block_index_shifts_domain():
+    a = fluid_block_arrays(block_index=1)
+    b = fluid_block_arrays(block_index=2)
+    assert b["x coordinates"][0] > a["x coordinates"][0]
+
+
+def test_make_record_in_gbo(gbo):
+    record = make_fluid_block_record(gbo, block_index=1, t=25e-6)
+    assert record.committed
+    keys = [b"block_0001$", b"0.000025$"]
+    assert gbo.get_field_buffer_size("fluid", "pressure", keys) == 80_000
+    assert gbo.get_field_buffer_size(
+        "fluid", "x coordinates", keys
+    ) == 808
+    buf = gbo.get_field_buffer("fluid", "temperature", keys)
+    assert buf.min() >= 300.0
+
+
+def test_multiple_blocks_coexist(gbo):
+    for index in (1, 2, 3):
+        make_fluid_block_record(gbo, block_index=index, t=25e-6)
+    assert gbo.record_count("fluid") == 3
+
+
+def test_generate_fluid_dataset_and_read_fn(tmp_path, gbo):
+    from repro.gen.structured_fluid import (
+        generate_fluid_dataset,
+        make_fluid_read_fn,
+    )
+
+    paths = generate_fluid_dataset(str(tmp_path), n_blocks=2,
+                                   n_steps=3, nx=10, ny=10)
+    assert len(paths) == 3
+    read_fn = make_fluid_read_fn()
+    for path in paths:
+        gbo.add_unit(path, read_fn)
+    for path in paths:
+        gbo.wait_unit(path)
+    # 2 blocks x 3 steps, all individually keyed.
+    assert gbo.record_count("fluid") == 6
+
+
+def test_fluid_dataset_values_match_direct_generation(tmp_path, gbo):
+    import numpy as np
+
+    from repro.gen.snapshot import block_key, timestep_id
+    from repro.gen.structured_fluid import (
+        generate_fluid_dataset,
+        make_fluid_read_fn,
+    )
+
+    paths = generate_fluid_dataset(str(tmp_path), n_blocks=1,
+                                   n_steps=1, nx=10, ny=10)
+    gbo.read_unit(paths[0], make_fluid_read_fn())
+    keys = [block_key("block_0001").encode(),
+            timestep_id(25e-6).encode()]
+    stored = gbo.get_field_buffer("fluid", "pressure", keys)
+    expected = fluid_block_arrays(10, 10, 25e-6, 1)["pressure"]
+    assert np.array_equal(stored, expected)

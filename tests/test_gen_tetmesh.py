@@ -1,0 +1,129 @@
+"""Tetrahedral mesh generation: structure, volumes, conformality."""
+
+import numpy as np
+import pytest
+
+from repro.gen.tetmesh import (
+    TetMesh,
+    structured_grid_nodes,
+    structured_tet_block,
+    structured_tet_connectivity,
+)
+
+
+class TestStructuredGrid:
+    def test_node_count(self):
+        nodes = structured_grid_nodes(2, 3, 4)
+        assert nodes.shape == (3 * 4 * 5, 3)
+
+    def test_nodes_span_unit_cube(self):
+        nodes = structured_grid_nodes(2, 2, 2)
+        assert nodes.min() == 0.0
+        assert nodes.max() == 1.0
+
+    def test_node_ordering_i_fastest(self):
+        nodes = structured_grid_nodes(2, 2, 2)
+        # First two nodes differ only in x.
+        assert nodes[1][0] > nodes[0][0]
+        assert nodes[1][1] == nodes[0][1]
+        assert nodes[1][2] == nodes[0][2]
+
+    def test_mapping_applied(self):
+        nodes = structured_grid_nodes(
+            1, 1, 1, mapping=lambda p: p * 2.0
+        )
+        assert nodes.max() == 2.0
+
+    def test_bad_mapping_shape_rejected(self):
+        with pytest.raises(ValueError, match="mapping"):
+            structured_grid_nodes(1, 1, 1, mapping=lambda p: p[:, :2])
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(ValueError):
+            structured_grid_nodes(0, 1, 1)
+        with pytest.raises(ValueError):
+            structured_tet_connectivity(1, 0, 1)
+
+
+class TestConnectivity:
+    def test_six_tets_per_hex(self):
+        assert structured_tet_connectivity(2, 3, 4).shape == \
+            (6 * 2 * 3 * 4, 4)
+
+    def test_indices_in_range(self):
+        tets = structured_tet_connectivity(3, 3, 3)
+        assert tets.min() >= 0
+        assert tets.max() < 4 ** 3
+
+    def test_dtype_int32(self):
+        assert structured_tet_connectivity(1, 1, 1).dtype == np.int32
+
+
+class TestTetMesh:
+    def test_unit_cube_volume(self):
+        mesh = structured_tet_block(3, 3, 3)
+        assert mesh.total_volume() == pytest.approx(1.0)
+
+    def test_volume_invariant_across_resolution(self):
+        for n in (1, 2, 4):
+            mesh = structured_tet_block(n, n, n)
+            assert mesh.total_volume() == pytest.approx(1.0)
+
+    def test_kuhn_tets_all_positive_or_all_negative(self):
+        """The Kuhn decomposition with a consistent diagonal yields
+        uniformly oriented tets — no sign mixing."""
+        volumes = structured_tet_block(2, 2, 2).tet_volumes()
+        assert (volumes > 0).all() or (volumes < 0).all()
+
+    def test_validate_passes_on_good_mesh(self):
+        structured_tet_block(2, 2, 2).validate()
+
+    def test_validate_catches_repeated_node(self):
+        mesh = structured_tet_block(1, 1, 1)
+        bad = mesh.tets.copy()
+        bad[0, 1] = bad[0, 0]
+        with pytest.raises(ValueError, match="repeated"):
+            TetMesh(mesh.nodes, bad).validate()
+
+    def test_validate_catches_degenerate_tet(self):
+        nodes = np.array([
+            [0, 0, 0], [1, 0, 0], [2, 0, 0], [3, 0, 0],
+        ], dtype=float)   # collinear
+        with pytest.raises(ValueError, match="degenerate"):
+            TetMesh(nodes, np.array([[0, 1, 2, 3]])).validate()
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TetMesh(np.zeros((3, 2)), np.zeros((1, 4), dtype=int))
+        with pytest.raises(ValueError):
+            TetMesh(np.zeros((3, 3)), np.zeros((1, 3), dtype=int))
+
+    def test_out_of_range_connectivity_rejected(self):
+        nodes = np.zeros((4, 3))
+        with pytest.raises(ValueError, match="missing nodes"):
+            TetMesh(nodes, np.array([[0, 1, 2, 9]]))
+
+    def test_bounding_box(self):
+        mesh = structured_tet_block(1, 1, 1)
+        lo, hi = mesh.bounding_box()
+        assert lo.tolist() == [0, 0, 0]
+        assert hi.tolist() == [1, 1, 1]
+
+    def test_centroids(self):
+        mesh = structured_tet_block(1, 1, 1)
+        centroids = mesh.tet_centroids()
+        assert centroids.shape == (6, 3)
+        assert (centroids > 0).all() and (centroids < 1).all()
+
+    def test_conformality_via_face_counts(self):
+        """In a conformal mesh every interior face is shared by exactly
+        two tets; boundary faces by one."""
+        mesh = structured_tet_block(2, 2, 2)
+        faces = mesh.tets[
+            :, [[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]]
+        ].reshape(-1, 3)
+        sorted_faces = np.sort(faces, axis=1)
+        _unique, counts = np.unique(
+            sorted_faces, axis=0, return_counts=True
+        )
+        assert set(counts.tolist()) <= {1, 2}

@@ -1,0 +1,135 @@
+"""End-to-end integration: generate -> store -> manage -> visualize.
+
+One test walks the entire stack the way a downstream user would; the
+others cross-check subsystem boundaries the unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.database import GBO
+from repro.gen.snapshot import (
+    SnapshotSpec,
+    block_key,
+    generate_dataset,
+)
+from repro.gen.titan import TitanConfig
+from repro.io.disk import ENGLE_DISK, IoStats
+from repro.io.readers import (
+    load_snapshot_records,
+    make_snapshot_read_fn,
+    snapshot_unit_name,
+)
+from repro.viz.camera import Camera
+from repro.viz.gops import GraphicsOp, GraphicsOps
+from repro.viz.pipeline import Pipeline
+from repro.viz.voyager import GodivaSnapshotData, Voyager, VoyagerConfig
+
+
+def test_full_stack_walkthrough(tmp_path):
+    """generate -> add_unit/wait_unit -> query -> extract -> render."""
+    data_dir = str(tmp_path / "ds")
+    manifest = generate_dataset(
+        SnapshotSpec(config=TitanConfig.scaled(0.15), n_steps=3,
+                     files_per_snapshot=2),
+        data_dir,
+    )
+    stats = IoStats()
+    read_fn = make_snapshot_read_fn(
+        manifest, stats=stats, profile=ENGLE_DISK
+    )
+    gops = GraphicsOps([
+        GraphicsOp("isosurface", "temperature", isovalue=500.0,
+                   colormap="heat", vmin=300.0, vmax=2500.0),
+        GraphicsOp("slice", "velocity", component="magnitude",
+                   origin=(0, 0, 5.0), normal=(0, 0, 1)),
+    ])
+    pipeline = Pipeline(
+        gops, camera=Camera.fit_bounds((-1.7, -1.7, 0), (1.7, 1.7, 10))
+    )
+
+    images = []
+    with GBO(mem_mb=64) as gbo:
+        for step in range(3):
+            gbo.add_unit(snapshot_unit_name(step), read_fn)
+        for step in range(3):
+            unit = snapshot_unit_name(step)
+            gbo.wait_unit(unit)
+            data = GodivaSnapshotData(
+                gbo, manifest.snapshots[step].tsid,
+                manifest.block_ids,
+            )
+            result = pipeline.process(data)
+            images.append(result.image)
+            assert result.triangles > 0
+            gbo.delete_unit(unit)
+        assert gbo.stats.units_prefetched == 3
+    assert stats.snapshot()["bytes_read"] > 0
+    # Time-varying fields -> frames differ.
+    assert not np.array_equal(images[0], images[2])
+
+
+def test_query_buffers_match_file_contents(small_dataset, gbo_single):
+    """What GODIVA hands out is byte-identical to what is on disk."""
+    from repro.io.sdf import SdfReader
+
+    load_snapshot_records(gbo_single, small_dataset, step=0)
+    tsid = small_dataset.snapshots[0].tsid
+    path = small_dataset.snapshot_paths(0)[0]
+    with SdfReader(path) as reader:
+        block = reader.file_attributes()["block_ids"].split(",")[0]
+        keys = [block_key(block).encode(), tsid.encode()]
+        for field, reshape in (
+            ("coords", (-1, 3)), ("conn", (-1, 4)),
+            ("velocity", (-1, 3)), ("temperature", (-1,)),
+        ):
+            from_file = reader.read(f"{field}:{block}")
+            from_gbo = gbo_single.get_field_buffer(
+                "solid", field, keys
+            ).reshape(reshape)
+            assert np.array_equal(
+                from_file.reshape(reshape), from_gbo
+            )
+
+
+def test_voyager_restart_same_results(small_dataset):
+    """Two independent runs over the same dataset are bit-identical in
+    geometry and I/O accounting (full determinism)."""
+    def run():
+        return Voyager(VoyagerConfig(
+            data_dir=small_dataset.directory, test="complex",
+            mode="G", mem_mb=64, render=False,
+        )).run()
+
+    a, b = run(), run()
+    assert a.triangles == b.triangles
+    assert a.bytes_read == b.bytes_read
+    assert a.seeks == b.seeks
+    assert a.virtual_io_s == b.virtual_io_s
+
+
+def test_trace_then_simulate_consistency(small_dataset):
+    """The simulator's G-mode visible I/O equals the traced disk+parse
+    arithmetic — the two layers agree on the contract."""
+    from repro.simulate.machine import ENGLE
+    from repro.simulate.runner import simulate_voyager
+    from repro.simulate.workload import trace_workload
+
+    workload = trace_workload(
+        small_dataset.directory, "simple", n_snapshots=4
+    )
+    run = simulate_voyager(ENGLE, workload, "G")
+    expected = 4 * (
+        workload.godiva.disk_seconds(ENGLE.disk)
+        + workload.godiva.parse_seconds(ENGLE)
+    )
+    assert run.visible_io_s == pytest.approx(expected)
+
+
+def test_public_api_surface():
+    """Everything README promises is importable from the top level."""
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__

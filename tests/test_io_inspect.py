@@ -1,0 +1,77 @@
+"""The godiva-inspect CLI tool."""
+
+import numpy as np
+import pytest
+
+from repro.io.inspect import describe_dataset, describe_file, main
+from repro.io.sdf import SdfWriter
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = str(tmp_path / "sample.sdf")
+    with SdfWriter(path) as writer:
+        writer.set_attribute("timestep", "0.000025$")
+        writer.add_dataset("coords", np.zeros((10, 3)))
+        writer.add_dataset("scalar", np.float64(1.0))
+    return path
+
+
+def test_describe_file(sample_file):
+    lines = describe_file(sample_file)
+    text = "\n".join(lines)
+    assert "SDF" in lines[0]
+    assert "timestep" in text
+    assert "coords" in text
+    assert "10x3" in text
+    assert "scalar" in text
+
+
+def test_describe_file_no_attrs(sample_file):
+    text = "\n".join(describe_file(sample_file, show_attrs=False))
+    assert "timestep" not in text
+
+
+def test_describe_cdf_file(tmp_path):
+    from repro.io.cdf import CdfWriter
+
+    path = str(tmp_path / "sample.cdf")
+    with CdfWriter(path) as writer:
+        writer.add_dataset("x", np.zeros(4))
+    lines = describe_file(path)
+    assert "CDF" in lines[0]
+
+
+def test_describe_dataset(small_dataset):
+    lines = describe_dataset(small_dataset.directory)
+    text = "\n".join(lines)
+    assert f"blocks        : {small_dataset.n_blocks}" in text
+    assert "snapshots     : 4" in text
+    assert "MB/snapshot" in text
+
+
+def test_main_on_file(sample_file, capsys):
+    assert main([sample_file]) == 0
+    out = capsys.readouterr().out
+    assert "coords" in out
+
+
+def test_main_on_directory(small_dataset, capsys):
+    assert main([small_dataset.directory]) == 0
+    assert "snapshots" in capsys.readouterr().out
+
+
+def test_main_no_attrs_flag(sample_file, capsys):
+    assert main([sample_file, "--no-attrs"]) == 0
+    assert "timestep" not in capsys.readouterr().out
+
+
+def test_long_attribute_truncated(tmp_path, capsys):
+    path = str(tmp_path / "long.sdf")
+    with SdfWriter(path) as writer:
+        writer.set_attribute("blob", "x" * 500)
+        writer.add_dataset("d", np.zeros(1))
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert "..." in out
+    assert "x" * 500 not in out

@@ -1,0 +1,119 @@
+"""Snapshot partitioning and the multi-process Voyager launcher."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.launcher import ParallelResult, run_parallel_voyager
+from repro.parallel.scheduler import partition_snapshots
+from repro.viz.voyager import Voyager, VoyagerConfig
+
+
+class TestPartitioning:
+    def test_block_even_split(self):
+        assert partition_snapshots(8, 4) == [
+            [0, 1], [2, 3], [4, 5], [6, 7]
+        ]
+
+    def test_block_uneven_split(self):
+        parts = partition_snapshots(10, 3)
+        assert parts == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_cyclic(self):
+        assert partition_snapshots(7, 3, "cyclic") == [
+            [0, 3, 6], [1, 4], [2, 5]
+        ]
+
+    def test_every_snapshot_exactly_once(self):
+        for strategy in ("block", "cyclic"):
+            for n, w in ((13, 4), (4, 7), (0, 3)):
+                parts = partition_snapshots(n, w, strategy)
+                flat = sorted(i for part in parts for i in part)
+                assert flat == list(range(n))
+                assert len(parts) == w
+
+    def test_more_workers_than_snapshots(self):
+        parts = partition_snapshots(2, 5)
+        assert sum(len(p) for p in parts) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_snapshots(4, 0)
+        with pytest.raises(ValueError):
+            partition_snapshots(-1, 2)
+        with pytest.raises(ValueError):
+            partition_snapshots(4, 2, "zigzag")
+
+
+class TestParallelRun:
+    def base_config(self, dataset, **kwargs):
+        kwargs.setdefault("render", False)
+        return VoyagerConfig(
+            data_dir=dataset.directory,
+            test="simple",
+            mode="G",
+            mem_mb=64.0,
+            **kwargs,
+        )
+
+    def test_inprocess_two_workers(self, small_dataset):
+        result = run_parallel_voyager(
+            self.base_config(small_dataset), n_workers=2,
+            use_processes=False,
+        )
+        assert isinstance(result, ParallelResult)
+        assert result.n_workers == 2
+        assert result.n_snapshots == 4
+        assert [w.n_snapshots for w in result.workers] == [2, 2]
+        assert result.makespan_s > 0
+        assert result.total_bytes_read > 0
+
+    def test_volume_matches_serial(self, small_dataset):
+        """Workers read disjoint snapshots: total volume equals the
+        one-worker volume (the paper's near-zero-communication claim)."""
+        serial = run_parallel_voyager(
+            self.base_config(small_dataset), n_workers=1,
+            use_processes=False,
+        )
+        parallel = run_parallel_voyager(
+            self.base_config(small_dataset), n_workers=4,
+            use_processes=False,
+        )
+        assert parallel.total_bytes_read == serial.total_bytes_read
+
+    def test_multiprocess_run(self, small_dataset):
+        result = run_parallel_voyager(
+            self.base_config(small_dataset), n_workers=2,
+            use_processes=True,
+        )
+        assert result.n_snapshots == 4
+        assert all(w.bytes_read > 0 for w in result.workers)
+
+    def test_parallel_images_match_serial(self, small_dataset,
+                                          tmp_path):
+        serial = Voyager(self.base_config(
+            small_dataset, out_dir=str(tmp_path / "serial"),
+            render=True,
+        )).run()
+        parallel = run_parallel_voyager(
+            self.base_config(
+                small_dataset, out_dir=str(tmp_path / "par"),
+                render=True,
+            ),
+            n_workers=2, use_processes=False,
+        )
+        from repro.viz.image import read_ppm
+
+        parallel_images = sorted(
+            path for worker in parallel.workers
+            for path in worker.images
+        )
+        assert len(parallel_images) == len(serial.images)
+        for a, b in zip(sorted(serial.images), parallel_images):
+            assert np.array_equal(read_ppm(a), read_ppm(b))
+
+    def test_steps_limit_respected(self, small_dataset):
+        result = run_parallel_voyager(
+            self.base_config(small_dataset, steps=3), n_workers=2,
+            use_processes=False,
+        )
+        assert result.n_snapshots == 3

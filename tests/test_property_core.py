@@ -1,0 +1,186 @@
+"""Property-based tests for the GODIVA core (hypothesis).
+
+A stateful machine drives a single-thread GBO through the full unit
+lifecycle against a simple Python model; separate properties cover key
+normalization and record round-trips with random schemas.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.database import GBO
+from repro.core.index import normalize_key_values
+from repro.core.schema import RecordSchema, SchemaField
+from repro.core.types import UNKNOWN, DataType
+from repro.core.units import UnitState
+
+ITEM = RecordSchema("item", (
+    SchemaField("id", DataType.STRING, 12, is_key=True),
+    SchemaField("data", DataType.DOUBLE),
+))
+
+
+@given(st.lists(st.one_of(
+    st.binary(max_size=16),
+    st.text(alphabet=st.characters(max_codepoint=127), max_size=16),
+)))
+def test_key_normalization_stable(values):
+    normalized = normalize_key_values(values)
+    assert normalize_key_values(normalized) == normalized
+    assert all(isinstance(v, bytes) for v in normalized)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=0, max_value=64).map(lambda n: n * 8),
+        min_size=1, max_size=6,
+    ),
+)
+def test_record_roundtrip_random_buffer_sizes(sizes):
+    """Allocate random-size buffers, fill with known data, read back."""
+    with GBO(mem_mb=4, background_io=False) as gbo:
+        fields = [SchemaField("key", DataType.STRING, 4, is_key=True)]
+        fields += [
+            SchemaField(f"f{i}", DataType.DOUBLE)
+            for i in range(len(sizes))
+        ]
+        RecordSchema("rec", tuple(fields)).ensure(gbo)
+        record = gbo.new_record("rec")
+        record.field("key").write(b"K001")
+        payloads = {}
+        for i, nbytes in enumerate(sizes):
+            gbo.alloc_field_buffer(record, f"f{i}", nbytes)
+            data = np.arange(nbytes // 8, dtype="<f8") * (i + 1)
+            record.field(f"f{i}").write(data)
+            payloads[f"f{i}"] = data
+        gbo.commit_record(record)
+        for name, data in payloads.items():
+            back = gbo.get_field_buffer("rec", name, [b"K001"])
+            assert np.array_equal(back, data)
+            assert gbo.get_field_buffer_size(
+                "rec", name, [b"K001"]
+            ) == data.nbytes
+
+
+class GboUnitMachine(RuleBasedStateMachine):
+    """Random unit-lifecycle operations vs. a dict model.
+
+    Uses the single-thread build so every transition is synchronous and
+    model-checkable. The model tracks each unit's conceptual state:
+    'queued', 'resident' (with ref count), or 'gone'.
+    """
+
+    unit_names = st.sampled_from([f"u{i}" for i in range(6)])
+
+    def __init__(self):
+        super().__init__()
+        self.gbo = GBO(mem_mb=8, background_io=False)
+        ITEM.ensure(self.gbo)
+        self.model = {}
+        self.loaded_payload = {}
+
+    def teardown(self):
+        self.gbo.close()
+
+    def _read_fn(self, gbo, unit_name):
+        record = gbo.new_record("item")
+        record.field("id").write(unit_name.ljust(12).encode())
+        gbo.alloc_field_buffer(record, "data", 64)
+        record.field("data").as_array()[:] = self.loaded_payload[
+            unit_name
+        ]
+        gbo.commit_record(record)
+
+    @rule(name=unit_names, payload=st.floats(0.0, 100.0))
+    def add(self, name, payload):
+        state = self.model.get(name)
+        if state in ("queued", "resident"):
+            from repro.errors import UnitStateError
+            try:
+                self.gbo.add_unit(name, self._read_fn)
+                raise AssertionError("expected UnitStateError")
+            except UnitStateError:
+                return
+        self.loaded_payload[name] = payload
+        self.gbo.add_unit(name, self._read_fn)
+        self.model[name] = "queued"
+
+    @rule(name=unit_names)
+    def wait(self, name):
+        state = self.model.get(name)
+        if state is None or state == "gone":
+            from repro.errors import (
+                UnitStateError,
+                UnknownUnitError,
+            )
+            try:
+                self.gbo.wait_unit(name)
+                raise AssertionError("expected an error")
+            except (UnknownUnitError, UnitStateError):
+                return
+        self.gbo.wait_unit(name)
+        self.model[name] = "resident"
+        value = self.gbo.get_field_buffer(
+            "item", "data", [name.ljust(12).encode()]
+        )[0]
+        assert value == self.loaded_payload[name]
+
+    @rule(name=unit_names)
+    def finish(self, name):
+        state = self.model.get(name)
+        if state != "resident":
+            from repro.errors import (
+                UnitStateError,
+                UnknownUnitError,
+            )
+            try:
+                self.gbo.finish_unit(name)
+                raise AssertionError("expected an error")
+            except (UnknownUnitError, UnitStateError):
+                return
+        self.gbo.finish_unit(name)
+        # stays resident (cached) until pressure; model keeps it.
+
+    @rule(name=unit_names)
+    def delete(self, name):
+        if name not in self.model:
+            from repro.errors import UnknownUnitError
+            try:
+                self.gbo.delete_unit(name)
+                raise AssertionError("expected UnknownUnitError")
+            except UnknownUnitError:
+                return
+        self.gbo.delete_unit(name)
+        self.model[name] = "gone"
+
+    @invariant()
+    def states_agree(self):
+        for name, state in self.model.items():
+            actual = self.gbo.unit_state(name)
+            if state == "queued":
+                assert actual is UnitState.QUEUED
+            elif state == "resident":
+                assert actual in (
+                    UnitState.RESIDENT, UnitState.EVICTED
+                )
+            elif state == "gone":
+                assert actual is UnitState.DELETED
+
+    @invariant()
+    def memory_accounting_consistent(self):
+        assert 0 <= self.gbo.mem_used_bytes <= \
+            self.gbo.mem_budget_bytes
+
+
+TestGboUnitMachine = GboUnitMachine.TestCase
+TestGboUnitMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,158 @@
+"""Property-based tests for the storage formats (hypothesis)."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.io.plainbin import read_plain_array, write_plain_array
+from repro.io.sdf import SdfReader, SdfWriter
+
+DTYPES = st.sampled_from(["<f8", "<f4", "<i4", "<i8", "u1"])
+
+finite_arrays = DTYPES.flatmap(
+    lambda dtype: arrays(
+        dtype=dtype,
+        shape=array_shapes(min_dims=0, max_dims=4, min_side=0,
+                           max_side=6),
+        elements={
+            "<f8": st.floats(-1e12, 1e12, width=64),
+            "<f4": st.floats(-1e6, 1e6, width=32),
+            "<i4": st.integers(-2**31, 2**31 - 1),
+            "<i8": st.integers(-2**63, 2**63 - 1),
+            "u1": st.integers(0, 255),
+        }[dtype],
+    )
+)
+
+attr_values = st.one_of(
+    st.integers(-2**63, 2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+attr_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=20), attr_values, max_size=5
+)
+
+# The SDF name limit is 64 *bytes* of UTF-8, not characters.
+dataset_names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"),
+        whitelist_characters="_-:",
+    ),
+    min_size=1,
+    max_size=32,
+).filter(lambda s: len(s.encode("utf-8")) <= 64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=finite_arrays)
+def test_plainbin_roundtrip(tmp_path_factory, data):
+    path = str(tmp_path_factory.mktemp("pb") / "arr.pbin")
+    write_plain_array(path, data)
+    back = read_plain_array(path)
+    assert back.shape == data.shape
+    assert back.dtype == data.dtype
+    assert np.array_equal(back, data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    datasets=st.lists(
+        st.tuples(dataset_names, finite_arrays, attr_dicts),
+        max_size=5,
+        unique_by=lambda item: item[0],
+    ),
+    file_attrs=attr_dicts,
+)
+def test_sdf_roundtrip(tmp_path_factory, datasets, file_attrs):
+    path = str(tmp_path_factory.mktemp("sdf") / "f.sdf")
+    with SdfWriter(path) as writer:
+        for key, value in file_attrs.items():
+            writer.set_attribute(key, value)
+        for name, data, attrs in datasets:
+            writer.add_dataset(name, data, attrs=attrs)
+    with SdfReader(path) as reader:
+        assert reader.dataset_names == [n for n, _d, _a in datasets]
+        got_file_attrs = reader.file_attributes()
+        for key, value in file_attrs.items():
+            assert got_file_attrs[key] == value
+        for name, data, attrs in datasets:
+            back = reader.read(name)
+            assert back.shape == data.shape
+            assert np.array_equal(back, data)
+            assert reader.attributes(name) == attrs
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=finite_arrays)
+def test_sdf_info_consistent_with_data(tmp_path_factory, data):
+    path = str(tmp_path_factory.mktemp("sdf") / "g.sdf")
+    with SdfWriter(path) as writer:
+        writer.add_dataset("x", data)
+    with SdfReader(path) as reader:
+        info = reader.info("x")
+        assert info.shape == data.shape
+        assert info.data_nbytes == data.astype(
+            data.dtype.newbyteorder("<")
+        ).nbytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    datasets=st.lists(
+        st.tuples(dataset_names, finite_arrays, attr_dicts),
+        max_size=5,
+        unique_by=lambda item: item[0],
+    ),
+    file_attrs=attr_dicts,
+)
+def test_cdf_roundtrip(tmp_path_factory, datasets, file_attrs):
+    from repro.io.cdf import CdfReader, CdfWriter
+
+    path = str(tmp_path_factory.mktemp("cdf") / "f.cdf")
+    with CdfWriter(path) as writer:
+        for key, value in file_attrs.items():
+            writer.set_attribute(key, value)
+        for name, data, attrs in datasets:
+            writer.add_dataset(name, data, attrs=attrs)
+    with CdfReader(path) as reader:
+        assert reader.dataset_names == [n for n, _d, _a in datasets]
+        got = reader.file_attributes()
+        for key, value in file_attrs.items():
+            assert got[key] == value
+        for name, data, attrs in datasets:
+            back = reader.read(name)
+            assert back.shape == data.shape
+            assert np.array_equal(back, data)
+            assert reader.attributes(name) == attrs
+
+
+@settings(max_examples=25, deadline=None)
+@given(datasets=st.lists(
+    st.tuples(dataset_names, finite_arrays),
+    min_size=1, max_size=4,
+    unique_by=lambda item: item[0],
+))
+def test_formats_agree_on_contents(tmp_path_factory, datasets):
+    """Any dataset bundle reads back identically from SDF and CDF."""
+    from repro.io.cdf import CdfReader, CdfWriter
+
+    base = tmp_path_factory.mktemp("fmt")
+    sdf, cdf = str(base / "a.sdf"), str(base / "a.cdf")
+    with SdfWriter(sdf) as writer:
+        for name, data in datasets:
+            writer.add_dataset(name, data)
+    with CdfWriter(cdf) as writer:
+        for name, data in datasets:
+            writer.add_dataset(name, data)
+    with SdfReader(sdf) as sr, CdfReader(cdf) as cr:
+        assert sr.dataset_names == cr.dataset_names
+        for name, _data in datasets:
+            assert np.array_equal(sr.read(name), cr.read(name))
+            assert sr.info(name).shape == cr.info(name).shape

@@ -1,0 +1,192 @@
+"""Simulated Voyager schedules and the machine/workload models."""
+
+import pytest
+
+from repro.io.disk import ENGLE_DISK
+from repro.simulate.machine import ENGLE, TURING, Machine
+from repro.simulate.runner import simulate_voyager
+from repro.simulate.workload import (
+    COMPUTE_RATIO,
+    IoProfile,
+    TestWorkload,
+    trace_workload,
+)
+
+
+def synthetic_workload(n=8, compute_s=8.0):
+    """A hand-built workload: O reads 25 % more than G."""
+    godiva = IoProfile(bytes_read=20e6, read_calls=100,
+                       seeks=10, settles=80, opens=8)
+    original = IoProfile(bytes_read=25e6, read_calls=140,
+                         seeks=25, settles=100, opens=8)
+    return TestWorkload(
+        test="synthetic", n_snapshots=n,
+        original=original, godiva=godiva, compute_s=compute_s,
+    )
+
+
+class TestMachineModel:
+    def test_platform_constants(self):
+        assert ENGLE.n_cpus == 1
+        assert TURING.n_cpus == 2
+        assert ENGLE.disk is ENGLE_DISK
+
+    def test_parse_seconds(self):
+        machine = Machine("m", 1, ENGLE_DISK, 1e-7, 1e-4)
+        assert machine.parse_seconds(1e7, 100) == pytest.approx(1.01)
+
+    def test_io_profile_costs(self):
+        profile = IoProfile(bytes_read=35e6, read_calls=10,
+                            seeks=2, settles=4, opens=1)
+        disk_s = profile.disk_seconds(ENGLE_DISK)
+        expected = (
+            1.0 + 2 * ENGLE_DISK.seek_s + 4 * ENGLE_DISK.settle_s
+            + ENGLE_DISK.open_s
+        )
+        assert disk_s == pytest.approx(expected)
+
+
+class TestSchedules:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            simulate_voyager(ENGLE, synthetic_workload(), "X")
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            simulate_voyager(ENGLE, synthetic_workload(), "TG",
+                             window_units=0)
+
+    def test_blocking_modes_fully_visible(self):
+        """O and G: every unit's I/O is visible; total = io + compute."""
+        workload = synthetic_workload()
+        for mode in ("O", "G"):
+            run = simulate_voyager(ENGLE, workload, mode)
+            profile = workload.io_profile(mode)
+            io_per_unit = (
+                profile.disk_seconds(ENGLE.disk)
+                + profile.parse_seconds(ENGLE)
+            )
+            expected_io = workload.n_snapshots * io_per_unit
+            assert run.visible_io_s == pytest.approx(expected_io)
+            assert run.total_s == pytest.approx(
+                expected_io + workload.n_snapshots * workload.compute_s
+            )
+            assert run.computation_s == pytest.approx(
+                workload.n_snapshots * workload.compute_s
+            )
+
+    def test_g_beats_o_on_visible_io(self):
+        workload = synthetic_workload()
+        o = simulate_voyager(ENGLE, workload, "O")
+        g = simulate_voyager(ENGLE, workload, "G")
+        assert g.visible_io_s < o.visible_io_s
+        assert g.total_s < o.total_s
+
+    def test_tg_reduces_visible_io(self):
+        workload = synthetic_workload()
+        g = simulate_voyager(ENGLE, workload, "G")
+        tg = simulate_voyager(ENGLE, workload, "TG")
+        assert tg.visible_io_s < 0.2 * g.visible_io_s
+        assert tg.total_s < g.total_s
+
+    def test_tg_slows_computation_on_one_cpu(self):
+        """Figure 3(a): overlap helps overall but the attributed
+        computation time grows (CPU contention with the I/O thread)."""
+        workload = synthetic_workload()
+        g = simulate_voyager(ENGLE, workload, "G")
+        tg = simulate_voyager(ENGLE, workload, "TG")
+        assert tg.computation_s > g.computation_s
+
+    def test_two_cpus_hide_more_than_one(self):
+        """The central Figure 3 contrast."""
+        workload = synthetic_workload()
+
+        def hidden(machine):
+            g = simulate_voyager(machine, workload, "G")
+            tg = simulate_voyager(machine, workload, "TG")
+            return (g.total_s - tg.total_s) / g.visible_io_s
+
+        assert hidden(TURING) > 2 * hidden(ENGLE)
+        assert hidden(TURING) > 0.7
+        assert 0.05 < hidden(ENGLE) < 0.6
+
+    def test_competitor_slows_tg(self):
+        """TG1 vs TG2 on the dual-CPU node."""
+        workload = synthetic_workload()
+        tg2 = simulate_voyager(TURING, workload, "TG")
+        tg1 = simulate_voyager(TURING, workload, "TG",
+                               competitor=True)
+        assert tg1.total_s > tg2.total_s
+
+    def test_first_unit_always_visible(self):
+        workload = synthetic_workload()
+        tg = simulate_voyager(ENGLE, workload, "TG")
+        assert tg.per_unit_wait_s[0] > 0
+        assert len(tg.per_unit_wait_s) == workload.n_snapshots
+
+    def test_window_one_disables_overlap(self):
+        """window=1: the unit being processed fills the budget; the
+        next cannot prefetch — behaves like G (plus scheduling noise)."""
+        workload = synthetic_workload()
+        g = simulate_voyager(ENGLE, workload, "G")
+        tg1 = simulate_voyager(ENGLE, workload, "TG", window_units=1)
+        tg4 = simulate_voyager(ENGLE, workload, "TG", window_units=4)
+        assert tg1.visible_io_s > 2 * tg4.visible_io_s
+        assert tg1.total_s >= tg4.total_s
+
+    def test_jitter_determinism_and_variation(self):
+        workload = synthetic_workload()
+        a = simulate_voyager(ENGLE, workload, "TG", jitter=0.2, seed=1)
+        b = simulate_voyager(ENGLE, workload, "TG", jitter=0.2, seed=1)
+        c = simulate_voyager(ENGLE, workload, "TG", jitter=0.2, seed=2)
+        assert a.total_s == b.total_s
+        assert a.total_s != c.total_s
+
+
+class TestTraceWorkload:
+    def test_trace_matches_real_pipeline(self, small_dataset):
+        workload = trace_workload(
+            small_dataset.directory, "simple", n_snapshots=4
+        )
+        assert workload.n_snapshots == 4
+        assert workload.original.bytes_read > \
+            workload.godiva.bytes_read
+        assert workload.compute_s > 0
+        assert workload.godiva.opens == 2  # files per snapshot
+
+    def test_compute_ratio_ordering(self, small_dataset):
+        """'complex' must have the largest compute-to-I/O ratio."""
+        assert COMPUTE_RATIO["complex"] > COMPUTE_RATIO["medium"] > \
+            COMPUTE_RATIO["simple"]
+
+    def test_explicit_compute_override(self, small_dataset):
+        workload = trace_workload(
+            small_dataset.directory, "simple", compute_s=9.0
+        )
+        assert workload.compute_s == 9.0
+
+
+class TestUtilization:
+    def test_cpu_busy_accounts_all_work(self):
+        workload = synthetic_workload()
+        run = simulate_voyager(ENGLE, workload, "G")
+        profile = workload.io_profile("G")
+        expected = workload.n_snapshots * (
+            profile.parse_seconds(ENGLE) + workload.compute_s
+        )
+        assert run.cpu_busy_s == pytest.approx(expected)
+
+    def test_disk_busy_equals_device_time(self):
+        workload = synthetic_workload()
+        run = simulate_voyager(ENGLE, workload, "G")
+        expected = workload.n_snapshots * \
+            workload.io_profile("G").disk_seconds(ENGLE.disk)
+        assert run.disk_busy_s == pytest.approx(expected)
+
+    def test_tg_keeps_disk_busier(self):
+        """Overlap compresses the timeline, raising disk utilization."""
+        workload = synthetic_workload()
+        g = simulate_voyager(ENGLE, workload, "G")
+        tg = simulate_voyager(ENGLE, workload, "TG")
+        assert tg.disk_busy_s == pytest.approx(g.disk_busy_s)
+        assert tg.disk_utilization > g.disk_utilization

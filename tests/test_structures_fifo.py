@@ -1,0 +1,127 @@
+"""Unit tests for the FIFO prefetch queue, including the tombstone
+semantics the GODIVA unit lifecycle exercises (cancel then re-queue)."""
+
+import pytest
+
+from repro.structures.fifoqueue import FifoQueue
+
+
+@pytest.fixture
+def queue():
+    return FifoQueue()
+
+
+def test_empty(queue):
+    assert len(queue) == 0
+    assert "x" not in queue
+    with pytest.raises(IndexError):
+        queue.pop()
+    with pytest.raises(IndexError):
+        queue.peek()
+
+
+def test_fifo_order(queue):
+    for item in ("a", "b", "c"):
+        queue.push(item)
+    assert queue.pop() == "a"
+    assert queue.pop() == "b"
+    assert queue.pop() == "c"
+
+
+def test_push_duplicate_rejected(queue):
+    queue.push("a")
+    with pytest.raises(ValueError):
+        queue.push("a")
+
+
+def test_push_after_pop_allowed(queue):
+    queue.push("a")
+    queue.pop()
+    queue.push("a")
+    assert queue.pop() == "a"
+
+
+def test_peek_does_not_remove(queue):
+    queue.push("a")
+    assert queue.peek() == "a"
+    assert len(queue) == 1
+    assert queue.pop() == "a"
+
+
+def test_remove_front(queue):
+    queue.push("a")
+    queue.push("b")
+    assert queue.remove("a")
+    assert queue.pop() == "b"
+
+
+def test_remove_middle(queue):
+    for item in ("a", "b", "c"):
+        queue.push(item)
+    assert queue.remove("b")
+    assert "b" not in queue
+    assert len(queue) == 2
+    assert queue.pop() == "a"
+    assert queue.pop() == "c"
+
+
+def test_remove_absent(queue):
+    assert not queue.remove("ghost")
+
+
+def test_remove_then_repush_keeps_new_entry_live(queue):
+    """The GODIVA cancel/re-queue cycle: the stale occurrence must stay
+    dead while the re-pushed one stays live (regression test for the
+    resurrect-on-push bug that let the eviction policy victimize a unit
+    mid-reload)."""
+    queue.push("a")
+    queue.push("x")        # keeps 'a' off the front
+    queue.remove("a")      # tombstoned, still physically queued
+    queue.push("a")        # re-queued: a NEW live entry
+    assert queue.pop() == "x"
+    assert queue.pop() == "a"   # the new entry, not the stale one
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_repeated_remove_repush_cycles(queue):
+    queue.push("pad")
+    for _ in range(5):
+        queue.push("u")
+        queue.remove("u")
+    queue.push("u")
+    assert queue.pop() == "pad"
+    assert queue.pop() == "u"
+    assert len(queue) == 0
+
+
+def test_iteration_skips_removed(queue):
+    for item in ("a", "b", "c"):
+        queue.push(item)
+    queue.remove("b")
+    assert list(queue) == ["a", "c"]
+
+
+def test_iteration_with_repushed_item(queue):
+    queue.push("a")
+    queue.push("b")
+    queue.remove("a")
+    queue.push("a")
+    assert list(queue) == ["b", "a"]
+
+
+def test_len_counts_live_only(queue):
+    queue.push("a")
+    queue.push("b")
+    queue.remove("a")
+    assert len(queue) == 1
+
+
+def test_clear(queue):
+    for item in ("a", "b"):
+        queue.push(item)
+    queue.remove("a")
+    queue.clear()
+    assert len(queue) == 0
+    queue.push("a")
+    assert queue.pop() == "a"

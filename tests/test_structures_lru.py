@@ -1,0 +1,84 @@
+"""Unit tests for the LRU recency list."""
+
+import pytest
+
+from repro.structures.lru import LruList
+
+
+@pytest.fixture
+def lru():
+    return LruList()
+
+
+def test_empty(lru):
+    assert len(lru) == 0
+    assert "x" not in lru
+    assert list(lru) == []
+
+
+def test_touch_inserts(lru):
+    lru.touch("a")
+    assert "a" in lru
+    assert len(lru) == 1
+
+
+def test_iteration_order_lru_to_mru(lru):
+    for item in ("a", "b", "c"):
+        lru.touch(item)
+    assert list(lru) == ["a", "b", "c"]
+
+
+def test_touch_moves_to_mru(lru):
+    for item in ("a", "b", "c"):
+        lru.touch(item)
+    lru.touch("a")
+    assert list(lru) == ["b", "c", "a"]
+    assert lru.peek_lru() == "b"
+
+
+def test_pop_lru_order(lru):
+    for item in ("a", "b", "c"):
+        lru.touch(item)
+    assert lru.pop_lru() == "a"
+    assert lru.pop_lru() == "b"
+    assert lru.pop_lru() == "c"
+    assert len(lru) == 0
+
+
+def test_pop_empty_raises(lru):
+    with pytest.raises(KeyError):
+        lru.pop_lru()
+    with pytest.raises(KeyError):
+        lru.peek_lru()
+
+
+def test_discard(lru):
+    for item in ("a", "b", "c"):
+        lru.touch(item)
+    assert lru.discard("b")
+    assert not lru.discard("b")
+    assert list(lru) == ["a", "c"]
+
+
+def test_discard_head_and_tail(lru):
+    for item in ("a", "b", "c"):
+        lru.touch(item)
+    lru.discard("a")
+    lru.discard("c")
+    assert list(lru) == ["b"]
+
+
+def test_clear(lru):
+    for item in ("a", "b"):
+        lru.touch(item)
+    lru.clear()
+    assert len(lru) == 0
+    lru.touch("c")
+    assert list(lru) == ["c"]
+
+
+def test_retouch_single_item(lru):
+    lru.touch("only")
+    lru.touch("only")
+    assert list(lru) == ["only"]
+    assert len(lru) == 1

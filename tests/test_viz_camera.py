@@ -1,0 +1,105 @@
+"""Camera projection and camera-position files."""
+
+import numpy as np
+import pytest
+
+from repro.viz.camera import Camera
+
+
+def test_basis_orthonormal():
+    camera = Camera(position=(5, 2, 3), look_at=(0, 0, 0))
+    right, up, forward = camera.basis()
+    for vec in (right, up, forward):
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+    assert abs(right @ up) < 1e-12
+    assert abs(right @ forward) < 1e-12
+    assert abs(up @ forward) < 1e-12
+
+
+def test_basis_view_convention():
+    """OpenGL-style view basis: (right, up, -forward) is right-handed,
+    i.e. right x up points back toward the camera."""
+    camera = Camera(position=(5, 0, 0), look_at=(0, 0, 0))
+    right, up, forward = camera.basis()
+    assert np.allclose(np.cross(right, up), -forward)
+
+
+def test_basis_up_stays_up():
+    camera = Camera(position=(5, 0, 0), look_at=(0, 0, 0),
+                    up=(0, 0, 1))
+    _right, up, _forward = camera.basis()
+    assert up[2] > 0.99
+
+
+def test_degenerate_position_rejected():
+    with pytest.raises(ValueError):
+        Camera(position=(1, 1, 1), look_at=(1, 1, 1)).basis()
+
+
+def test_up_parallel_to_view_recovers():
+    camera = Camera(position=(0, 0, 5), look_at=(0, 0, 0),
+                    up=(0, 0, 1))
+    right, up, forward = camera.basis()
+    assert np.linalg.norm(right) == pytest.approx(1.0)
+
+
+def test_lookat_point_projects_to_center():
+    camera = Camera(position=(0, -5, 0), look_at=(0, 0, 0),
+                    width=320, height=240)
+    xy, depth = camera.project(np.array([[0.0, 0.0, 0.0]]))
+    assert xy[0, 0] == pytest.approx(160.0)
+    assert xy[0, 1] == pytest.approx(120.0)
+    assert depth[0] == pytest.approx(5.0)
+
+
+def test_point_right_of_view_projects_right():
+    camera = Camera(position=(0, -5, 0), look_at=(0, 0, 0),
+                    up=(0, 0, 1))
+    xy, _ = camera.project(np.array([[1.0, 0.0, 0.0]]))
+    assert xy[0, 0] > camera.width / 2
+
+
+def test_point_above_projects_up():
+    camera = Camera(position=(0, -5, 0), look_at=(0, 0, 0),
+                    up=(0, 0, 1))
+    xy, _ = camera.project(np.array([[0.0, 0.0, 1.0]]))
+    assert xy[0, 1] < camera.height / 2   # y is down in image space
+
+
+def test_nearer_objects_appear_larger():
+    camera = Camera(position=(0, -10, 0), look_at=(0, 0, 0),
+                    up=(0, 0, 1))
+    near, _ = camera.project(np.array([[1.0, -5.0, 0.0]]))
+    far, _ = camera.project(np.array([[1.0, 5.0, 0.0]]))
+    near_offset = near[0, 0] - camera.width / 2
+    far_offset = far[0, 0] - camera.width / 2
+    assert near_offset > far_offset > 0
+
+
+def test_behind_camera_flagged_by_depth():
+    camera = Camera(position=(0, -5, 0), look_at=(0, 0, 0))
+    _, depth = camera.project(np.array([[0.0, -10.0, 0.0]]))
+    assert depth[0] < 0
+
+
+def test_save_load_roundtrip(tmp_path):
+    camera = Camera(position=(1, 2, 3), look_at=(4, 5, 6),
+                    up=(0, 1, 0), fov_deg=55.0, width=640, height=480)
+    path = str(tmp_path / "camera.json")
+    camera.save(path)
+    loaded = Camera.load(path)
+    assert loaded.position == (1, 2, 3)
+    assert loaded.look_at == (4, 5, 6)
+    assert loaded.fov_deg == 55.0
+    assert loaded.width == 640
+
+
+def test_fit_bounds_sees_the_box():
+    camera = Camera.fit_bounds((-1, -1, 0), (1, 1, 10))
+    corners = np.array([
+        [x, y, z] for x in (-1, 1) for y in (-1, 1) for z in (0, 10)
+    ], dtype=float)
+    xy, depth = camera.project(corners)
+    assert (depth > 0).all()
+    assert (xy[:, 0] >= 0).all() and (xy[:, 0] <= camera.width).all()
+    assert (xy[:, 1] >= 0).all() and (xy[:, 1] <= camera.height).all()

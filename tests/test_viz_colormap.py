@@ -1,0 +1,68 @@
+"""Colormap mapping behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.viz.colormap import Colormap
+
+
+def test_known_names():
+    names = Colormap.names()
+    for expected in ("rainbow", "heat", "gray", "coolwarm"):
+        assert expected in names
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError, match="unknown colormap"):
+        Colormap("plasma")
+
+
+def test_gray_endpoints():
+    cmap = Colormap("gray")
+    rgb = cmap.map(np.array([0.0, 1.0]))
+    assert np.allclose(rgb[0], [0, 0, 0])
+    assert np.allclose(rgb[1], [1, 1, 1])
+
+
+def test_autoscale_uses_data_range():
+    cmap = Colormap("gray")
+    rgb = cmap.map(np.array([10.0, 20.0, 30.0]))
+    assert np.allclose(rgb[0], [0, 0, 0])
+    assert np.allclose(rgb[1], [0.5, 0.5, 0.5])
+    assert np.allclose(rgb[2], [1, 1, 1])
+
+
+def test_fixed_range_clips():
+    cmap = Colormap("gray", vmin=0.0, vmax=1.0)
+    rgb = cmap.map(np.array([-5.0, 0.5, 5.0]))
+    assert np.allclose(rgb[0], [0, 0, 0])
+    assert np.allclose(rgb[2], [1, 1, 1])
+
+
+def test_constant_data_maps_low_end():
+    cmap = Colormap("rainbow")
+    rgb = cmap.map(np.full(4, 3.0))
+    assert np.allclose(rgb, rgb[0])
+
+
+def test_rainbow_order_blue_to_red():
+    cmap = Colormap("rainbow", vmin=0.0, vmax=1.0)
+    low = cmap.map(np.array([0.0]))[0]
+    high = cmap.map(np.array([1.0]))[0]
+    assert low[2] > low[0]    # blue end
+    assert high[0] > high[2]  # red end
+
+
+def test_map_uint8():
+    cmap = Colormap("gray", vmin=0.0, vmax=1.0)
+    rgb = cmap.map_uint8(np.array([0.0, 1.0]))
+    assert rgb.dtype == np.uint8
+    assert rgb[0].tolist() == [0, 0, 0]
+    assert rgb[1].tolist() == [255, 255, 255]
+
+
+def test_shape_preserved():
+    cmap = Colormap("heat")
+    values = np.zeros((4, 3))
+    values[0, 0] = 1.0
+    assert cmap.map(values).shape == (4, 3, 3)

@@ -1,0 +1,139 @@
+"""Legacy-VTK export: structure and numeric fidelity of the output."""
+
+import numpy as np
+import pytest
+
+from repro.gen.tetmesh import structured_tet_block
+from repro.viz.export_vtk import write_tet_mesh, write_triangle_soup
+from repro.viz.isosurface import TriangleSoup, marching_tets
+
+
+def parse_vtk_sections(path):
+    """Minimal legacy-VTK parser for test verification."""
+    lines = open(path).read().splitlines()
+    assert lines[0].startswith("# vtk DataFile Version 2.0")
+    assert lines[2] == "ASCII"
+    sections = {}
+    index = 3
+    current = None
+    while index < len(lines):
+        line = lines[index]
+        head = line.split()
+        if head and head[0] in (
+            "DATASET", "POINTS", "POLYGONS", "CELLS", "CELL_TYPES",
+            "POINT_DATA", "CELL_DATA", "SCALARS", "VECTORS",
+        ):
+            current = head[0] if head[0] != "SCALARS" else \
+                f"SCALARS:{head[1]}"
+            if head[0] == "VECTORS":
+                current = f"VECTORS:{head[1]}"
+            sections[current] = {"header": head, "rows": []}
+        elif current and line and line != "LOOKUP_TABLE default":
+            sections[current]["rows"].append(line.split())
+        index += 1
+    return sections
+
+
+@pytest.fixture
+def soup():
+    mesh = structured_tet_block(3, 3, 3)
+    values = mesh.nodes[:, 2] * 10.0
+    return marching_tets(mesh.nodes, mesh.tets, values, 5.0)
+
+
+class TestTriangleSoupExport:
+    def test_polydata_structure(self, soup, tmp_path):
+        path = str(tmp_path / "surface.vtk")
+        count = write_triangle_soup(path, soup, scalar_name="temp")
+        assert count == soup.n_triangles
+        sections = parse_vtk_sections(path)
+        assert sections["DATASET"]["header"][1] == "POLYDATA"
+        assert int(sections["POINTS"]["header"][1]) == \
+            3 * soup.n_triangles
+        assert int(sections["POLYGONS"]["header"][1]) == \
+            soup.n_triangles
+        assert len(sections["SCALARS:temp"]["rows"]) == \
+            3 * soup.n_triangles
+
+    def test_vertex_coordinates_roundtrip(self, soup, tmp_path):
+        path = str(tmp_path / "surface.vtk")
+        write_triangle_soup(path, soup)
+        sections = parse_vtk_sections(path)
+        points = np.array(
+            sections["POINTS"]["rows"], dtype=np.float64
+        )
+        assert np.allclose(points, soup.vertices.reshape(-1, 3))
+
+    def test_scalars_roundtrip(self, soup, tmp_path):
+        path = str(tmp_path / "surface.vtk")
+        write_triangle_soup(path, soup)
+        sections = parse_vtk_sections(path)
+        values = np.array(
+            sections["SCALARS:value"]["rows"], dtype=np.float64
+        ).reshape(-1)
+        assert np.allclose(values, soup.values.reshape(-1))
+
+    def test_empty_soup(self, tmp_path):
+        path = str(tmp_path / "empty.vtk")
+        assert write_triangle_soup(path, TriangleSoup.empty()) == 0
+        sections = parse_vtk_sections(path)
+        assert int(sections["POINTS"]["header"][1]) == 0
+
+
+class TestTetMeshExport:
+    def test_unstructured_grid_structure(self, tmp_path):
+        mesh = structured_tet_block(2, 2, 2)
+        path = str(tmp_path / "mesh.vtk")
+        count = write_tet_mesh(
+            path, mesh,
+            point_data={"temp": np.arange(mesh.n_nodes, dtype=float),
+                        "vel": np.zeros((mesh.n_nodes, 3))},
+            cell_data={"strain": np.ones(mesh.n_tets)},
+        )
+        assert count == mesh.n_tets
+        sections = parse_vtk_sections(path)
+        assert sections["DATASET"]["header"][1] == "UNSTRUCTURED_GRID"
+        assert int(sections["POINTS"]["header"][1]) == mesh.n_nodes
+        assert int(sections["CELLS"]["header"][1]) == mesh.n_tets
+        types = {row[0] for row in sections["CELL_TYPES"]["rows"]}
+        assert types == {"10"}   # VTK_TETRA
+        assert len(sections["SCALARS:temp"]["rows"]) == mesh.n_nodes
+        assert len(sections["VECTORS:vel"]["rows"]) == mesh.n_nodes
+        assert len(sections["SCALARS:strain"]["rows"]) == mesh.n_tets
+
+    def test_connectivity_roundtrip(self, tmp_path):
+        mesh = structured_tet_block(1, 1, 1)
+        path = str(tmp_path / "mesh.vtk")
+        write_tet_mesh(path, mesh)
+        sections = parse_vtk_sections(path)
+        cells = np.array(sections["CELLS"]["rows"], dtype=int)
+        assert (cells[:, 0] == 4).all()
+        assert np.array_equal(cells[:, 1:], mesh.tets)
+
+    def test_spaces_in_names_sanitized(self, tmp_path):
+        mesh = structured_tet_block(1, 1, 1)
+        path = str(tmp_path / "mesh.vtk")
+        write_tet_mesh(
+            path, mesh,
+            point_data={"ave stress": np.zeros(mesh.n_nodes)},
+        )
+        assert "SCALARS ave_stress double 1" in open(path).read()
+
+    def test_wrong_lengths_rejected(self, tmp_path):
+        mesh = structured_tet_block(1, 1, 1)
+        path = str(tmp_path / "mesh.vtk")
+        with pytest.raises(ValueError, match="point data"):
+            write_tet_mesh(path, mesh,
+                           point_data={"x": np.zeros(3)})
+        with pytest.raises(ValueError, match="cell data"):
+            write_tet_mesh(path, mesh,
+                           cell_data={"x": np.zeros(3)})
+
+    def test_bad_attribute_shape_rejected(self, tmp_path):
+        mesh = structured_tet_block(1, 1, 1)
+        path = str(tmp_path / "mesh.vtk")
+        with pytest.raises(ValueError, match="expected"):
+            write_tet_mesh(
+                path, mesh,
+                point_data={"m": np.zeros((mesh.n_nodes, 2))},
+            )

@@ -1,0 +1,115 @@
+"""2-D fluid-block rendering (the Table 1 dataset family)."""
+
+import numpy as np
+import pytest
+
+from repro.gen.structured_fluid import (
+    fluid_block_arrays,
+    make_fluid_block_record,
+)
+from repro.viz.fluid2d import (
+    render_fluid_blocks,
+    render_from_gbo,
+    sample_block,
+)
+
+
+class TestSampleBlock:
+    def test_uniform_grid_exact(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 1.0])
+        cells = np.array([10.0, 20.0])  # x-major: cell(0,0), cell(1,0)
+        values, mask = sample_block(x, y, cells, width=4, height=2)
+        assert mask.all()
+        assert np.array_equal(values[0], [10, 10, 20, 20])
+
+    def test_y_axis_points_up(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 1.0, 2.0])
+        cells = np.array([5.0, 9.0])   # (0,0)=5 lower, (0,1)=9 upper
+        values, _mask = sample_block(x, y, cells, width=1, height=2)
+        assert values[0, 0] == 9.0     # top pixel row = upper cell
+        assert values[1, 0] == 5.0
+
+    def test_mask_outside_block(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 1.0])
+        values, mask = sample_block(
+            x, y, np.array([3.0]), width=4, height=4,
+            bounds=(0.0, 2.0, 0.0, 2.0),
+        )
+        assert mask[:, :2].sum() == 4  # left-bottom quadrant covered
+        assert not mask[:, 2:].any()
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sample_block(np.array([0.0, 1.0]), np.array([0.0, 1.0]),
+                         np.array([1.0, 2.0]), 2, 2)
+
+    def test_nonuniform_edges(self):
+        x = np.array([0.0, 0.1, 2.0])   # tiny first cell
+        y = np.array([0.0, 1.0])
+        cells = np.array([1.0, 2.0])
+        values, _ = sample_block(x, y, cells, width=10, height=1)
+        # Nearly every pixel lands in the wide second cell.
+        assert (values == 2.0).sum() >= 9
+
+
+class TestRenderFluid:
+    def test_render_single_block(self):
+        arrays = fluid_block_arrays()
+        image = render_fluid_blocks([arrays], field="pressure",
+                                    width=80, height=60)
+        assert image.shape == (60, 80, 3)
+        assert image.dtype == np.uint8
+        assert len(np.unique(image.reshape(-1, 3), axis=0)) > 4
+
+    def test_render_multiblock_spans_union(self):
+        blocks = [
+            fluid_block_arrays(block_index=1),
+            fluid_block_arrays(block_index=4),
+        ]
+        image = render_fluid_blocks(blocks, field="temperature",
+                                    width=120, height=40,
+                                    colormap="heat")
+        background = np.array([20, 20, 31], dtype=np.uint8)
+        covered = (image != background).any(axis=2)
+        # Both ends of the frame covered, gap in the middle dark.
+        assert covered[:, 0].any()
+        assert covered[:, -1].any()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_fluid_blocks([])
+
+    def test_missing_field_rejected(self):
+        arrays = fluid_block_arrays()
+        del arrays["pressure"]
+        with pytest.raises(ValueError, match="missing"):
+            render_fluid_blocks([arrays], field="pressure")
+
+    def test_fixed_range_stability(self):
+        arrays = fluid_block_arrays()
+        a = render_fluid_blocks([arrays], vmin=0.0, vmax=2e5,
+                                width=40, height=30)
+        b = render_fluid_blocks([arrays], vmin=0.0, vmax=2e5,
+                                width=40, height=30)
+        assert np.array_equal(a, b)
+
+
+class TestRenderFromGbo:
+    def test_round_trip_through_database(self, gbo):
+        for index in (1, 2):
+            make_fluid_block_record(gbo, block_index=index, t=25e-6)
+        keys = [
+            (b"block_0001$", b"0.000025$"),
+            (b"block_0002$", b"0.000025$"),
+        ]
+        via_gbo = render_from_gbo(gbo, keys, field="pressure",
+                                  width=100, height=50)
+        direct = render_fluid_blocks(
+            [fluid_block_arrays(block_index=1),
+             fluid_block_arrays(block_index=2)],
+            field="pressure", width=100, height=50,
+        )
+        assert np.array_equal(via_gbo, direct)

@@ -1,0 +1,98 @@
+"""Graphics-operations files and the three evaluation op-sets."""
+
+import pytest
+
+from repro.viz.gops import GraphicsOp, GraphicsOps
+from repro.viz.gops import test_gops as evaluation_gops
+
+
+class TestGraphicsOp:
+    def test_boundary_minimal(self):
+        op = GraphicsOp("boundary", "velocity", component="magnitude")
+        assert op.kind == "boundary"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown op kind"):
+            GraphicsOp("contour", "velocity")
+
+    def test_unknown_component(self):
+        with pytest.raises(ValueError, match="component"):
+            GraphicsOp("boundary", "velocity", component="w")
+
+    def test_isosurface_requires_value(self):
+        with pytest.raises(ValueError, match="isovalue"):
+            GraphicsOp("isosurface", "temperature")
+
+    def test_slice_requires_plane(self):
+        with pytest.raises(ValueError, match="origin and normal"):
+            GraphicsOp("slice", "temperature")
+
+    def test_json_roundtrip(self):
+        op = GraphicsOp("slice", "s11", origin=(0, 0, 1),
+                        normal=(0, 1, 0), colormap="heat",
+                        vmin=0.0, vmax=1.0)
+        back = GraphicsOp.from_json(op.to_json())
+        assert back == op
+
+
+class TestGraphicsOps:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GraphicsOps([])
+
+    def test_file_roundtrip(self, tmp_path):
+        ops = evaluation_gops("medium")
+        path = str(tmp_path / "gops.json")
+        ops.save(path)
+        loaded = GraphicsOps.load(path)
+        assert len(loaded) == len(ops)
+        assert list(loaded) == list(ops)
+
+    def test_fields_used_dedup_in_order(self):
+        ops = GraphicsOps([
+            GraphicsOp("boundary", "b"),
+            GraphicsOp("boundary", "a"),
+            GraphicsOp("boundary", "b"),
+        ])
+        assert ops.fields_used() == ["b", "a"]
+
+
+class TestEvaluationSets:
+    def test_all_three_exist(self):
+        for name in ("simple", "medium", "complex"):
+            ops = evaluation_gops(name)
+            assert len(ops) >= 1
+
+    def test_unknown_test(self):
+        with pytest.raises(ValueError):
+            evaluation_gops("extreme")
+
+    def test_compute_ordering(self):
+        """'complex' has the most geometry work, 'simple' the least."""
+        assert len(evaluation_gops("simple")) < len(evaluation_gops("complex"))
+
+    def test_medium_reads_most_variables(self):
+        fields = {
+            name: len(evaluation_gops(name).fields_used())
+            for name in ("simple", "medium", "complex")
+        }
+        assert fields["medium"] > fields["simple"]
+        assert fields["medium"] > fields["complex"]
+
+    def test_variable_switch_counts(self):
+        """The grid-rebuild counts that drive the paper's redundancy
+        ordering: medium > {simple, complex}."""
+
+        def switches(name):
+            ops = list(evaluation_gops(name))
+            count = 0
+            current = None
+            for op in ops:
+                if op.field != current:
+                    count += 1
+                    current = op.field
+            return count - 1  # first build is not redundant
+
+        assert switches("medium") == 3
+        assert switches("simple") == 1
+        assert switches("complex") == 1

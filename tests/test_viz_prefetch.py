@@ -1,0 +1,131 @@
+"""Predictive prefetching (the section-5 building-block extension)."""
+
+import time
+
+import pytest
+
+from repro.viz.apollo import ApolloSession
+from repro.viz.prefetch import AccessPredictor
+
+
+class TestAccessPredictor:
+    def test_needs_history(self):
+        predictor = AccessPredictor()
+        assert predictor.predict(10) == []
+        predictor.record(3)
+        assert predictor.predict(10) == []
+
+    def test_forward_playback(self):
+        predictor = AccessPredictor(depth=2)
+        for step in (2, 3, 4):
+            predictor.record(step)
+        assert predictor.predict(10) == [5, 6]
+
+    def test_backward_scrubbing(self):
+        predictor = AccessPredictor(depth=2)
+        for step in (7, 6, 5):
+            predictor.record(step)
+        assert predictor.predict(10) == [4, 3]
+
+    def test_stride_two(self):
+        predictor = AccessPredictor(depth=2)
+        for step in (0, 2, 4):
+            predictor.record(step)
+        assert predictor.predict(10) == [6, 8]
+
+    def test_two_samples_trust_the_stride(self):
+        predictor = AccessPredictor(depth=1)
+        predictor.record(4)
+        predictor.record(5)
+        assert predictor.predict(10) == [6]
+
+    def test_ping_pong(self):
+        predictor = AccessPredictor(depth=2)
+        for step in (3, 4, 3):
+            predictor.record(step)
+        # Flip back to 4, then move on to 5.
+        assert predictor.predict(10) == [4, 5]
+
+    def test_no_pattern_hints_neighbours(self):
+        predictor = AccessPredictor(depth=2)
+        for step in (1, 5, 2):
+            predictor.record(step)
+        assert predictor.predict(10) == [3, 1]
+
+    def test_predictions_clamped_to_range(self):
+        predictor = AccessPredictor(depth=3)
+        for step in (7, 8, 9):
+            predictor.record(step)
+        assert predictor.predict(10) == []   # 10, 11, 12 out of range
+
+    def test_repeated_view_no_stride(self):
+        predictor = AccessPredictor(depth=2)
+        for step in (4, 4, 4):
+            predictor.record(step)
+        assert predictor.predict(10) == [5, 3]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AccessPredictor(history=1)
+        with pytest.raises(ValueError):
+            AccessPredictor(depth=0)
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestPredictiveApollo:
+    def test_forward_scan_becomes_hits(self, small_dataset):
+        """After two forward views the predictor prefetches ahead; the
+        subsequent views hit the cache — the win the paper's section-5
+        building-block claim promises."""
+        with ApolloSession(
+            small_dataset.directory, mem_mb=64.0, render=False,
+            predictive=True,
+        ) as session:
+            session.view(0)
+            session.view(1)
+            # Prediction: steps 2 (and 3) now prefetching.
+            assert wait_for(lambda: session.gbo.is_resident("snap:0002"))
+            session.view(2)
+            assert session.stats.cache_hits >= 1
+
+    def test_non_predictive_forward_scan_never_hits(self, small_dataset):
+        with ApolloSession(
+            small_dataset.directory, mem_mb=64.0, render=False,
+            predictive=False,
+        ) as session:
+            for step in range(4):
+                session.view(step)
+            assert session.stats.cache_hits == 0
+
+    def test_ping_pong_prefetch(self, small_dataset):
+        with ApolloSession(
+            small_dataset.directory, mem_mb=64.0, render=False,
+            predictive=True,
+        ) as session:
+            session.view(0)
+            session.view(1)
+            session.view(0)   # ping-pong; predicts 1 (resident) and 2
+            assert wait_for(lambda: session.gbo.is_resident("snap:0002"))
+            session.view(2)
+            assert session.stats.cache_hits >= 2  # revisit of 1? no: 0,1,0 -> third view of 0 is a hit; 2 prefetched -> hit
+
+    def test_wrong_guess_harmless(self, small_dataset):
+        """Mispredictions only warm units that LRU can evict; results
+        and correctness are unaffected."""
+        with ApolloSession(
+            small_dataset.directory, mem_mb=64.0, render=False,
+            predictive=True, prefetch_depth=2,
+        ) as session:
+            session.view(0)
+            session.view(1)   # predicts 2, 3
+            session.view(0)   # user went backward instead
+            session.view(3)
+            assert session.stats.views == 4

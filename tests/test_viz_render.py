@@ -1,0 +1,152 @@
+"""Software rasterizer: coverage, z-buffering, shading."""
+
+import numpy as np
+import pytest
+
+from repro.viz.camera import Camera
+from repro.viz.colormap import Colormap
+from repro.viz.isosurface import TriangleSoup
+from repro.viz.render import Renderer
+
+
+def front_camera():
+    return Camera(position=(0.0, -5.0, 0.0), look_at=(0.0, 0.0, 0.0),
+                  up=(0, 0, 1), width=64, height=64)
+
+
+def facing_triangle(y=0.0, size=1.0):
+    verts = np.array([[
+        [-size, y, -size],
+        [size, y, -size],
+        [0.0, y, size],
+    ]])
+    values = np.zeros((1, 3))
+    return TriangleSoup(verts, values)
+
+
+def test_blank_image_is_background():
+    renderer = Renderer(front_camera())
+    image = renderer.image()
+    assert image.shape == (64, 64, 3)
+    assert len(np.unique(image.reshape(-1, 3), axis=0)) == 1
+
+
+def test_draw_covers_pixels():
+    renderer = Renderer(front_camera())
+    renderer.draw(facing_triangle(), Colormap("gray"))
+    image = renderer.image()
+    background = image[0, 0]
+    changed = (image != background).any(axis=2)
+    assert changed.sum() > 100
+    assert renderer.triangles_drawn == 1
+
+
+def test_center_pixel_hit():
+    renderer = Renderer(front_camera())
+    renderer.draw_flat(facing_triangle(), (1.0, 0.0, 0.0))
+    image = renderer.image()
+    center = image[32, 32]
+    assert center[0] > center[2]   # red-ish
+
+
+def test_zbuffer_near_wins():
+    renderer = Renderer(front_camera())
+    # Far green triangle drawn first, near red one after.
+    renderer.draw_flat(facing_triangle(y=2.0), (0.0, 1.0, 0.0))
+    renderer.draw_flat(facing_triangle(y=-2.0), (1.0, 0.0, 0.0))
+    center = renderer.image()[32, 32]
+    assert center[0] > center[1]
+
+
+def test_zbuffer_order_independent():
+    a = Renderer(front_camera())
+    a.draw_flat(facing_triangle(y=2.0), (0.0, 1.0, 0.0))
+    a.draw_flat(facing_triangle(y=-2.0), (1.0, 0.0, 0.0))
+    b = Renderer(front_camera())
+    b.draw_flat(facing_triangle(y=-2.0), (1.0, 0.0, 0.0))
+    b.draw_flat(facing_triangle(y=2.0), (0.0, 1.0, 0.0))
+    assert np.array_equal(a.image(), b.image())
+
+
+def test_behind_camera_culled():
+    renderer = Renderer(front_camera())
+    renderer.draw_flat(facing_triangle(y=-10.0), (1.0, 1.0, 1.0))
+    image = renderer.image()
+    assert len(np.unique(image.reshape(-1, 3), axis=0)) == 1
+
+
+def test_empty_soup_noop():
+    renderer = Renderer(front_camera())
+    renderer.draw(TriangleSoup.empty(), Colormap("gray"))
+    assert renderer.triangles_drawn == 0
+
+
+def test_gouraud_color_interpolation():
+    """Per-vertex values shade across the triangle."""
+    renderer = Renderer(front_camera())
+    soup = TriangleSoup(
+        facing_triangle(size=2.0).vertices,
+        np.array([[0.0, 0.0, 1.0]]),   # one hot vertex (the top)
+    )
+    renderer.draw(soup, Colormap("gray", vmin=0.0, vmax=1.0))
+    image = renderer.image()
+    top = image[10, 32].astype(int).sum()
+    bottom = image[50, 32].astype(int).sum()
+    assert top > bottom
+
+
+def test_vmin_vmax_override():
+    renderer = Renderer(front_camera())
+    soup = facing_triangle()
+    renderer.draw(soup, Colormap("gray"), vmin=-1.0, vmax=1.0)
+    center = renderer.image()[40, 32]
+    # value 0 in [-1, 1] -> mid gray (before lighting).
+    assert 40 < center[0] < 220
+
+
+def test_partially_offscreen_triangle_covers_screen():
+    """A triangle far larger than the frustum is clipped to the image
+    and covers every pixel."""
+    renderer = Renderer(front_camera())
+    soup = TriangleSoup(
+        np.array([[[-20.0, 0.0, -20.0], [20.0, 0.0, -20.0],
+                   [0.0, 0.0, 20.0]]]),
+        np.zeros((1, 3)),
+    )
+    renderer.draw_flat(soup, (1.0, 1.0, 1.0))
+    blank = Renderer(front_camera()).image()
+    image = renderer.image()
+    assert (image != blank).all(axis=2).all()
+
+
+def test_depth_image():
+    renderer = Renderer(front_camera())
+    renderer.draw_flat(facing_triangle(), (1.0, 1.0, 1.0))
+    depth = renderer.depth_image()
+    assert depth.shape == (64, 64)
+    assert depth.max() > 0
+
+
+class TestColorbar:
+    def test_colorbar_strip_drawn(self):
+        renderer = Renderer(front_camera())
+        renderer.draw_colorbar(Colormap("rainbow"))
+        image = renderer.image()
+        # Rightmost columns (inside the margin) differ from background.
+        blank = Renderer(front_camera()).image()
+        strip = image[:, 64 - 16:64 - 4]
+        assert not np.array_equal(strip, blank[:, 64 - 16:64 - 4])
+
+    def test_colorbar_orientation_high_on_top(self):
+        renderer = Renderer(front_camera())
+        renderer.draw_colorbar(Colormap("gray"))
+        image = renderer.image()
+        x = 64 - 4 - 6   # middle of the strip
+        top = image[6, x].astype(int).sum()
+        bottom = image[57, x].astype(int).sum()
+        assert top > bottom   # gray: high value = white = top
+
+    def test_colorbar_too_wide_rejected(self):
+        renderer = Renderer(front_camera())
+        with pytest.raises(ValueError):
+            renderer.draw_colorbar(Colormap("gray"), width=100)
