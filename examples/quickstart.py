@@ -103,22 +103,25 @@ def main() -> None:
     write_fluid_file(file2, [3, 4], t)
 
     # The sample main program of section 3.3: godiva = new GBO(400).
-    godiva = GBO(mem_mb=400)
+    # mem accepts "400MB" strings too; io_workers=1 is the paper's
+    # single background I/O thread.
+    godiva = GBO("400MB", io_workers=1)
     define_fluid_schema(godiva)
 
-    # Add all units; the background I/O thread prefetches them in order.
-    godiva.add_unit(file1, read_fluid_file)
-    godiva.add_unit(file2, read_fluid_file)
+    # add_unit returns a UnitHandle; the background I/O workers prefetch
+    # pending units highest-priority first, FIFO within ties.
+    unit1 = godiva.add_unit(file1, read_fluid_file, priority=1.0)
+    unit2 = godiva.add_unit(file2, read_fluid_file)
 
     print("processing fluid_file1:")
-    godiva.wait_unit(file1)
+    unit1.wait()
     process_unit(godiva, [1, 2], t)
-    godiva.delete_unit(file1)
+    unit1.delete()
 
     print("processing fluid_file2:")
-    godiva.wait_unit(file2)
+    unit2.wait()
     process_unit(godiva, [3, 4], t)
-    godiva.delete_unit(file2)
+    unit2.delete()
 
     stats = godiva.stats
     print(

@@ -40,8 +40,10 @@ from repro.core import (
     PaperGBO,
     Record,
     RecordType,
+    UnitHandle,
     UnitState,
     UnitTracer,
+    parse_mem,
 )
 from repro.errors import (
     DatabaseClosedError,
@@ -70,10 +72,12 @@ __all__ = [
     "UNKNOWN",
     "FieldBuffer",
     "Record",
+    "UnitHandle",
     "UnitState",
     "GodivaStats",
     "UnitTracer",
     "MB",
+    "parse_mem",
     "GodivaError",
     "SchemaError",
     "UnknownTypeError",

@@ -14,12 +14,17 @@ from repro.core.cache import (
 from repro.core.database import GBO
 from repro.core.compat import PaperGBO, install_paper_aliases
 from repro.core.index import normalize_key_values
-from repro.core.memory import MB, RECORD_OVERHEAD_BYTES, MemoryAccountant
+from repro.core.memory import (
+    MB,
+    RECORD_OVERHEAD_BYTES,
+    MemoryAccountant,
+    parse_mem,
+)
 from repro.core.record import FieldBuffer, Record
 from repro.core.stats import GodivaStats
 from repro.core.trace import UnitTimeline, UnitTracer
 from repro.core.types import UNKNOWN, DataType, FieldType, RecordType
-from repro.core.units import ProcessingUnit, UnitState
+from repro.core.units import ProcessingUnit, UnitHandle, UnitState
 
 __all__ = [
     "GBO",
@@ -32,11 +37,13 @@ __all__ = [
     "FieldBuffer",
     "Record",
     "ProcessingUnit",
+    "UnitHandle",
     "UnitState",
     "GodivaStats",
     "UnitTracer",
     "UnitTimeline",
     "MemoryAccountant",
+    "parse_mem",
     "MB",
     "RECORD_OVERHEAD_BYTES",
     "EvictionPolicy",

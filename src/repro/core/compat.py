@@ -4,14 +4,22 @@ The library's native surface is snake_case (Pythonic), but the paper names
 its interfaces ``defineField``, ``addUnit`` and so on; ports of existing
 Rocketeer-style code can keep those spellings by calling
 :func:`install_paper_aliases` once, or by using :class:`PaperGBO`.
+
+The aliases are deprecation shims: each camelCase call emits a
+:class:`DeprecationWarning` pointing at the snake_case replacement, then
+forwards every argument unchanged. New code should use the snake_case
+names on :class:`~repro.core.database.GBO` directly.
 """
 
 from __future__ import annotations
 
+import functools
+import warnings
+
 from repro.core.database import GBO
 
 #: paper name -> snake_case method (exactly the interfaces in Figure 1
-#: plus setMemSpace and the schema calls of section 3.1).
+#: plus setMemSpace, cancelUnit and the schema calls of section 3.1).
 PAPER_ALIASES = {
     "defineField": "define_field",
     "defineRecord": "define_record",
@@ -27,19 +35,52 @@ PAPER_ALIASES = {
     "waitUnit": "wait_unit",
     "finishUnit": "finish_unit",
     "deleteUnit": "delete_unit",
+    "cancelUnit": "cancel_unit",
     "setMemSpace": "set_mem_space",
 }
 
 
+def _make_alias(paper_name: str, snake_name: str):
+    def alias(self, *args, **kwargs):
+        warnings.warn(
+            f"{paper_name}() is a deprecated paper-compatibility alias; "
+            f"use {snake_name}() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, snake_name)(*args, **kwargs)
+
+    alias.__name__ = paper_name
+    alias.__qualname__ = paper_name
+    alias.__doc__ = (
+        f"Deprecated camelCase alias for :meth:`GBO.{snake_name}`."
+    )
+    alias.__wrapped__ = getattr(GBO, snake_name)
+    return alias
+
+
 def install_paper_aliases(cls: type = GBO) -> type:
-    """Attach the paper's camelCase names as aliases on ``cls``."""
+    """Attach the paper's camelCase names to ``cls`` as deprecation
+    shims that forward to the snake_case methods."""
     for paper_name, snake_name in PAPER_ALIASES.items():
-        if not hasattr(cls, paper_name):
-            setattr(cls, paper_name, getattr(cls, snake_name))
+        if paper_name not in cls.__dict__ and not hasattr(cls, paper_name):
+            setattr(cls, paper_name, _make_alias(paper_name, snake_name))
     return cls
 
 
 @install_paper_aliases
 class PaperGBO(GBO):
     """A :class:`~repro.core.database.GBO` whose methods also answer to the
-    paper's exact camelCase names (``godiva.addUnit(...)``)."""
+    paper's exact camelCase names (``godiva.addUnit(...)``).
+
+    The constructor keeps the paper's convention that a bare number is a
+    megabyte count (``new GBO(400)`` = 400 MB), unlike the modern
+    ``GBO(mem=...)`` where an ``int`` means bytes.
+    """
+
+    @functools.wraps(GBO.__init__)
+    def __init__(self, mem=None, **kwargs):
+        if isinstance(mem, (int, float)) and not isinstance(mem, bool):
+            super().__init__(mem_mb=float(mem), **kwargs)
+        else:
+            super().__init__(mem, **kwargs)

@@ -9,13 +9,16 @@ groups:
   ``alloc_field_buffer``, ``commit_record``;
 * **dataset queries** — ``get_field_buffer``, ``get_field_buffer_size``;
 * **background I/O** — ``add_unit``, ``read_unit``, ``wait_unit``,
-  ``finish_unit``, ``delete_unit``, ``set_mem_space``.
+  ``finish_unit``, ``delete_unit``, ``cancel_unit``, ``set_mem_space``.
 
 The multi-thread build (``background_io=True``, the paper's *TG* library)
-runs a single background I/O thread that drains a FIFO prefetch queue and
-invokes developer-supplied read callbacks. The single-thread build
-(``background_io=False``, the paper's *G* library) keeps all record and
-query interfaces but performs each ``read_unit`` "inside the corresponding
+runs a pool of background I/O workers (``io_workers=N``; the default of 1
+preserves the paper's single-thread-drain behaviour exactly) draining a
+priority prefetch queue: ``add_unit`` orders pending units by (priority,
+FIFO arrival), ``wait_unit`` boosts the waited-on unit to the front, and
+queued units can be cancelled before their read starts. The single-thread
+build (``background_io=False``, the paper's *G* library) keeps all record
+and query interfaces but performs each read "inside the corresponding
 ``wait_unit`` call" (section 4.2).
 
 Thread-safety: one lock/condition pair guards all state. Read callbacks run
@@ -27,17 +30,27 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.cache import EvictionPolicy, make_policy
 from repro.core.index import RecordIndex, normalize_key_values
-from repro.core.memory import MB, RECORD_OVERHEAD_BYTES, MemoryAccountant
+from repro.core.memory import (
+    MB,
+    RECORD_OVERHEAD_BYTES,
+    MemoryAccountant,
+    parse_mem,
+)
 from repro.core.record import FieldBuffer, Record
 from repro.core.stats import GodivaStats
 from repro.core.types import UNKNOWN, DataType, FieldType, RecordType
-from repro.core.units import ProcessingUnit, ReadFunction, UnitState
+from repro.core.units import (
+    ProcessingUnit,
+    ReadFunction,
+    UnitHandle,
+    UnitState,
+)
 from repro.errors import (
     DatabaseClosedError,
     GodivaDeadlockError,
@@ -50,21 +63,42 @@ from repro.errors import (
 )
 
 
+class _WorkerStats:
+    """Per-I/O-worker utilization counters, mutated under the GBO lock."""
+
+    __slots__ = ("read_seconds", "blocked_seconds", "units_loaded")
+
+    def __init__(self) -> None:
+        self.read_seconds = 0.0
+        self.blocked_seconds = 0.0
+        self.units_loaded = 0
+
+
 class GBO:
     """The GODIVA database object.
 
     Parameters
     ----------
+    mem:
+        Memory budget for buffers, prefetching and caching. Accepts a
+        string with a unit suffix (``"384MB"``, ``"1.5GB"``), an ``int``
+        byte count, or a ``float`` megabyte count. Exactly one of
+        ``mem``, ``mem_mb``, ``mem_bytes`` must be given.
     mem_mb:
-        Maximum memory (in MB) the database may use for buffers, prefetching
-        and caching — the constructor parameter from the paper's sample code
-        (``new GBO(400)``).
+        Legacy spelling: budget in MB — the constructor parameter from
+        the paper's sample code (``new GBO(400)``).
     mem_bytes:
-        Alternative byte-precise budget (mutually exclusive with ``mem_mb``).
+        Legacy spelling: byte-precise budget.
     background_io:
-        True (default) spawns the background I/O thread (the paper's
-        multi-thread *TG* library); False gives the single-thread *G*
-        library where ``wait_unit`` performs the read inline.
+        True (default) spawns the background I/O worker pool (the
+        paper's multi-thread *TG* library); False gives the
+        single-thread *G* library where ``wait_unit`` performs the read
+        inline.
+    io_workers:
+        Number of background I/O worker threads. The default of 1 is the
+        paper-faithful single background thread; larger pools overlap
+        several reads (useful when units map to separate files or the
+        read path mixes I/O waits with decode CPU).
     eviction_policy:
         'lru' (paper default), 'fifo', or 'mru'.
     clock:
@@ -73,7 +107,8 @@ class GBO:
     unit_event_hook:
         Optional observability callback ``hook(event, unit_name, now)``
         invoked on every unit state transition (events: added, queued,
-        read_started, loaded, finished, evicted, deleted, failed).
+        read_started, loaded, finished, evicted, deleted, failed,
+        cancelled, boosted).
         Called with the database lock held — the hook must be cheap and
         must not call back into the GBO. See
         :class:`repro.core.trace.UnitTracer`.
@@ -81,17 +116,28 @@ class GBO:
 
     def __init__(
         self,
-        mem_mb: Optional[float] = None,
+        mem: Union[str, int, float, None] = None,
         *,
+        mem_mb: Optional[float] = None,
         mem_bytes: Optional[int] = None,
         background_io: bool = True,
+        io_workers: int = 1,
         eviction_policy: str = "lru",
         clock: Callable[[], float] = time.monotonic,
         unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
     ):
-        if (mem_mb is None) == (mem_bytes is None):
-            raise ValueError("specify exactly one of mem_mb or mem_bytes")
-        budget = int(mem_mb * MB) if mem_bytes is None else int(mem_bytes)
+        if sum(x is not None for x in (mem, mem_mb, mem_bytes)) != 1:
+            raise ValueError(
+                "specify exactly one of mem, mem_mb or mem_bytes"
+            )
+        if mem is not None:
+            budget = parse_mem(mem)
+        elif mem_mb is not None:
+            budget = int(mem_mb * MB)
+        else:
+            budget = int(mem_bytes)
+        if io_workers < 1:
+            raise ValueError("io_workers must be at least 1")
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -101,9 +147,9 @@ class GBO:
         self._record_types: dict = {}
         self._index = RecordIndex()
         self._units: dict = {}
-        from repro.structures.fifoqueue import FifoQueue
+        from repro.structures.priorityqueue import PriorityQueue
 
-        self._queue = FifoQueue()
+        self._queue = PriorityQueue()
         self._policy: EvictionPolicy = make_policy(eviction_policy)
         self._memory = MemoryAccountant(budget)
         self.stats = GodivaStats()
@@ -111,30 +157,45 @@ class GBO:
         self._unit_event_hook = unit_event_hook
         self._closing = False
         self._closed = False
-        self._io_waiting_for_memory = False
-        self._io_memory_needed = 0
+        #: Worker threads blocked on memory: thread -> (bytes needed,
+        #: name of the unit the blocked worker is loading).
+        self._io_blocked: Dict[threading.Thread, Tuple[int, Optional[str]]]
+        self._io_blocked = {}
         self._load_ctx = threading.local()
 
-        self._io_thread: Optional[threading.Thread] = None
+        self._io_threads: List[threading.Thread] = []
+        self._io_thread_set: frozenset = frozenset()
+        self._worker_stats: List[_WorkerStats] = []
         if background_io:
-            self._io_thread = threading.Thread(
-                target=self._io_loop, name="godiva-io", daemon=True
-            )
-            self._io_thread.start()
+            self._worker_stats = [_WorkerStats() for _ in range(io_workers)]
+            for index in range(io_workers):
+                thread = threading.Thread(
+                    target=self._io_loop, args=(index,),
+                    name=f"godiva-io-{index}", daemon=True,
+                )
+                self._io_threads.append(thread)
+            self._io_thread_set = frozenset(self._io_threads)
+            for thread in self._io_threads:
+                thread.start()
 
     # ==================================================================
     # Lifecycle
     # ==================================================================
     @property
     def background_io(self) -> bool:
-        return self._io_thread is not None
+        return bool(self._io_threads)
+
+    @property
+    def io_workers(self) -> int:
+        """Number of background I/O worker threads (0 in the G build)."""
+        return len(self._io_threads)
 
     @property
     def closed(self) -> bool:
         return self._closed
 
     def close(self) -> None:
-        """Terminate the I/O thread and free all buffers.
+        """Terminate the I/O workers and free all buffers.
 
         The paper ties this to GBO destruction ("the background I/O thread
         is terminated when the GBO object is deleted"); in Python we expose
@@ -145,8 +206,8 @@ class GBO:
                 return
             self._closing = True
             self._cond.notify_all()
-        if self._io_thread is not None:
-            self._io_thread.join()
+        for thread in self._io_threads:
+            thread.join()
         with self._cond:
             for record in self._index.clear():
                 record.release_all()
@@ -185,16 +246,28 @@ class GBO:
             return self._memory.high_water_bytes
 
     def set_mem_space(self, mem_mb: Optional[float] = None,
-                      *, mem_bytes: Optional[int] = None) -> None:
+                      *, mem_bytes: Optional[int] = None,
+                      mem: Union[str, int, float, None] = None) -> None:
         """Adjust the memory budget at runtime (the paper's ``setMemSpace``).
+
+        The first positional argument keeps the paper's MB convention
+        (``setMemSpace(300)``); ``mem=`` accepts the same ``"384MB"`` /
+        int-bytes / float-MB spellings as the constructor.
 
         Shrinking below current usage evicts finished units immediately;
         if usage still exceeds the new budget, future allocations block (or
         fail) until the application finishes/deletes units.
         """
-        if (mem_mb is None) == (mem_bytes is None):
-            raise ValueError("specify exactly one of mem_mb or mem_bytes")
-        budget = int(mem_mb * MB) if mem_bytes is None else int(mem_bytes)
+        if sum(x is not None for x in (mem, mem_mb, mem_bytes)) != 1:
+            raise ValueError(
+                "specify exactly one of mem, mem_mb or mem_bytes"
+            )
+        if mem is not None:
+            budget = parse_mem(mem)
+        elif mem_mb is not None:
+            budget = int(mem_mb * MB)
+        else:
+            budget = int(mem_bytes)
         with self._cond:
             self._check_open()
             self._memory.set_budget(budget)
@@ -219,7 +292,8 @@ class GBO:
                 f"allocation of {nbytes} bytes exceeds the total budget of "
                 f"{self._memory.budget_bytes} bytes"
             )
-        on_io_thread = threading.current_thread() is self._io_thread
+        thread = threading.current_thread()
+        on_io_thread = thread in self._io_thread_set
         while not self._memory.fits(nbytes):
             victim = self._policy.victim()
             if victim is not None:
@@ -229,13 +303,18 @@ class GBO:
                 # Background prefetch outran the application; block until
                 # finish_unit/delete_unit frees memory (section 3.2: the
                 # I/O thread is "blocked for lack of memory space").
-                self._io_waiting_for_memory = True
-                self._io_memory_needed = nbytes
+                self._io_blocked[thread] = (
+                    nbytes, self._current_load_unit()
+                )
                 self._cond.notify_all()
                 t0 = self._clock()
                 self._cond.wait()
-                self.stats.io_thread_blocked_seconds += self._clock() - t0
-                self._io_waiting_for_memory = False
+                blocked = self._clock() - t0
+                self.stats.io_thread_blocked_seconds += blocked
+                worker = getattr(self._load_ctx, "worker", None)
+                if worker is not None:
+                    self._worker_stats[worker].blocked_seconds += blocked
+                self._io_blocked.pop(thread, None)
                 if self._closing:
                     raise DatabaseClosedError("GBO closed during prefetch")
                 continue
@@ -456,12 +535,17 @@ class GBO:
     # ==================================================================
     # Background I/O interfaces
     # ==================================================================
-    def add_unit(self, name: str, read_fn: ReadFunction) -> None:
-        """Append a unit to the prefetch list (non-blocking).
+    def add_unit(self, name: str, read_fn: ReadFunction,
+                 priority: float = 0.0) -> UnitHandle:
+        """Append a unit to the prefetch queue (non-blocking).
 
-        In the multi-thread build the background I/O thread will load it
+        In the multi-thread build a background I/O worker will load it
         via ``read_fn(gbo, name)`` as memory allows; in the single-thread
-        build the read happens inside the eventual ``wait_unit``.
+        build the read happens inside the eventual ``wait_unit``. Pending
+        units are served highest ``priority`` first, FIFO within equal
+        priorities (the default priority of 0.0 for every unit reproduces
+        the paper's plain FIFO prefetch list). Returns a
+        :class:`~repro.core.units.UnitHandle` for the unit.
         """
         if read_fn is None:
             raise ValueError("add_unit requires a read function")
@@ -475,12 +559,16 @@ class GBO:
                     f"unit {name!r} is already {unit.state.value}"
                 )
             # Fresh unit, or resurrection after eviction/failure/deletion.
-            unit = ProcessingUnit(name, read_fn)
+            unit = ProcessingUnit(name, read_fn, priority=priority)
             self._units[name] = unit
-            self._queue.push(name)
+            unit.enqueued_at = self._clock()
+            self._queue.push(name, priority=priority)
+            if len(self._queue) > self.stats.queue_depth_peak:
+                self.stats.queue_depth_peak = len(self._queue)
             self.stats.units_added += 1
             self._emit("added", name)
             self._cond.notify_all()
+            return UnitHandle(self, name)
 
     def read_unit(self, name: str,
                   read_fn: Optional[ReadFunction] = None) -> None:
@@ -557,7 +645,7 @@ class GBO:
                 raise UnitStateError(f"unit {name!r} was deleted")
             self.stats.wait_misses += 1
 
-            if self._io_thread is None:
+            if not self._io_threads:
                 # Single-thread build: the read happens inside wait_unit
                 # (the paper's G library, section 4.2).
                 if unit.state is UnitState.QUEUED:
@@ -569,6 +657,13 @@ class GBO:
                 unit.state = UnitState.READING
                 read_callable = unit.read_fn
             else:
+                if unit.state is UnitState.QUEUED:
+                    # The application is blocked on this unit right now:
+                    # jump it past everything else still pending.
+                    if self._queue.to_front(name):
+                        self.stats.wait_boosts += 1
+                        self._emit("boosted", name)
+                        self._cond.notify_all()
                 self._wait_until_resident_locked(unit)
                 return
         # Single-thread inline read, outside the lock.
@@ -600,7 +695,8 @@ class GBO:
                         f"waited for"
                     )
                 if unit.state is UnitState.EVICTED:
-                    # Transparent re-fetch after cache eviction.
+                    # Transparent re-fetch after cache eviction; waited-on
+                    # reloads go straight to the front of the queue.
                     if unit.read_fn is None:
                         raise UnknownUnitError(
                             f"unit {unit.name!r} was evicted and has no "
@@ -608,25 +704,58 @@ class GBO:
                         )
                     unit.state = UnitState.QUEUED
                     unit.finished = False
-                    self._queue.push(unit.name)
+                    unit.enqueued_at = self._clock()
+                    self._queue.push(unit.name, priority=unit.priority)
+                    self._queue.to_front(unit.name)
                     self._cond.notify_all()
-                if (
-                    self._io_waiting_for_memory
-                    and len(self._policy) == 0
-                    and not self._memory.fits(self._io_memory_needed)
-                ):
+                self._check_deadlock_locked(unit)
+                self._check_open()
+                self._cond.wait(timeout=0.5)
+        finally:
+            elapsed = self._clock() - t0
+            self.stats.wait_seconds += elapsed
+            self.stats.wait_samples.append(elapsed)
+
+    def _check_deadlock_locked(self, unit: ProcessingUnit) -> None:
+        """Raise if waiting for ``unit`` can never make progress.
+
+        Generalizes the paper's single-thread deadlock (application waits
+        for a unit while the I/O thread is blocked on memory with nothing
+        evictable) to a pool of N workers:
+
+        * the waited-on unit is READING and *its* worker is blocked on an
+          allocation that cannot fit even after eviction — that worker will
+          never finish the unit; or
+        * the waited-on unit is still QUEUED while *every* worker is
+          blocked on memory and none of their allocations can fit — no
+          worker will ever come back to drain the queue.
+        """
+        if not self._io_blocked or len(self._policy) != 0:
+            return
+        if unit.state is UnitState.READING:
+            for nbytes, loading in self._io_blocked.values():
+                if loading == unit.name and not self._memory.fits(nbytes):
                     raise GodivaDeadlockError(
                         f"waiting for unit {unit.name!r} but the I/O "
-                        f"thread is blocked on memory "
+                        f"worker loading it is blocked on memory "
                         f"({self._memory.used_bytes}/"
                         f"{self._memory.budget_bytes} bytes used) and no "
                         f"unit is evictable — the application must "
                         f"finish_unit/delete_unit processed units"
                     )
-                self._check_open()
-                self._cond.wait(timeout=0.5)
-        finally:
-            self.stats.wait_seconds += self._clock() - t0
+        elif unit.state is UnitState.QUEUED:
+            if len(self._io_blocked) == len(self._io_threads) and not any(
+                self._memory.fits(nbytes)
+                for nbytes, _ in self._io_blocked.values()
+            ):
+                raise GodivaDeadlockError(
+                    f"waiting for queued unit {unit.name!r} but all "
+                    f"{len(self._io_threads)} I/O worker(s) are blocked "
+                    f"on memory ({self._memory.used_bytes}/"
+                    f"{self._memory.budget_bytes} bytes used) and no "
+                    f"unit is evictable — the application must "
+                    f"finish_unit/delete_unit processed units"
+                )
 
     def finish_unit(self, name: str) -> None:
         """Declare processing of the unit complete; it becomes evictable
@@ -676,6 +805,84 @@ class GBO:
                 self._emit("deleted", name)
             self.stats.units_deleted += 1
             self._cond.notify_all()
+
+    def cancel_unit(self, name: str) -> bool:
+        """Cancel a pending prefetch before its read starts.
+
+        Returns True if the unit was still QUEUED and is now removed from
+        the prefetch queue (state DELETED); False if the read already
+        started or completed — cancellation never interrupts an in-flight
+        read (use :meth:`delete_unit` to discard the unit afterwards).
+        """
+        with self._cond:
+            self._check_open()
+            unit = self._units.get(name)
+            if unit is None:
+                raise UnknownUnitError(f"unit {name!r} was never added")
+            if unit.state is not UnitState.QUEUED:
+                return False
+            self._queue.remove(name)
+            unit.state = UnitState.DELETED
+            self.stats.units_cancelled += 1
+            self._emit("cancelled", name)
+            self._cond.notify_all()
+            return True
+
+    def unit(self, name: str) -> UnitHandle:
+        """A :class:`UnitHandle` for an already-added unit."""
+        with self._lock:
+            if name not in self._units:
+                raise UnknownUnitError(f"unit {name!r} was never added")
+            return UnitHandle(self, name)
+
+    def unit_priority(self, name: str) -> float:
+        with self._lock:
+            unit = self._units.get(name)
+            if unit is None:
+                raise UnknownUnitError(f"unit {name!r} was never added")
+            return unit.priority
+
+    def set_unit_priority(self, name: str, priority: float) -> None:
+        """Change a unit's prefetch priority.
+
+        Reorders the pending queue if the unit is still QUEUED (FIFO
+        arrival order is preserved among equal priorities); for any other
+        state only the stored priority changes, which takes effect on the
+        next re-queue after an eviction.
+        """
+        with self._cond:
+            self._check_open()
+            unit = self._units.get(name)
+            if unit is None:
+                raise UnknownUnitError(f"unit {name!r} was never added")
+            unit.priority = priority
+            if self._queue.reprioritize(name, priority):
+                self._cond.notify_all()
+
+    @property
+    def queue_depth(self) -> int:
+        """Units currently pending in the prefetch queue."""
+        with self._lock:
+            return len(self._queue)
+
+    def worker_report(self) -> List[dict]:
+        """Per-worker utilization: one dict per I/O worker.
+
+        ``read_seconds`` is time spent inside read callbacks (it includes
+        any memory-blocked time, which is also reported separately as
+        ``blocked_seconds``); ``units_loaded`` counts successful loads.
+        Empty in the single-thread (G) build.
+        """
+        with self._lock:
+            return [
+                {
+                    "worker": index,
+                    "read_seconds": ws.read_seconds,
+                    "blocked_seconds": ws.blocked_seconds,
+                    "units_loaded": ws.units_loaded,
+                }
+                for index, ws in enumerate(self._worker_stats)
+            ]
 
     # ------------------------------------------------------------------
     # Unit introspection
@@ -730,8 +937,8 @@ class GBO:
     # ==================================================================
     # Internals
     # ==================================================================
-    def _io_loop(self) -> None:
-        """Background I/O thread main loop: drain the FIFO prefetch queue."""
+    def _io_loop(self, worker_index: int) -> None:
+        """I/O worker main loop: drain the priority prefetch queue."""
         while True:
             with self._cond:
                 while not self._closing and not self._queue:
@@ -743,40 +950,53 @@ class GBO:
                 if unit is None or unit.state is not UnitState.QUEUED:
                     continue  # cancelled while queued
                 unit.state = UnitState.READING
+                unit.worker = worker_index
+                now = self._clock()
+                unit.read_started_at = now
+                if unit.enqueued_at is not None:
+                    unit.queue_seconds += now - unit.enqueued_at
                 read_callable = unit.read_fn
             try:
-                self._run_read(name, read_callable, foreground=False)
+                self._run_read(name, read_callable, foreground=False,
+                               worker=worker_index)
             except DatabaseClosedError:
                 return
 
     def _run_read(self, name: str, read_fn: ReadFunction,
-                  foreground: bool) -> None:
+                  foreground: bool, worker: Optional[int] = None) -> None:
         """Invoke a read callback (lock NOT held) and settle unit state."""
         if self._unit_event_hook is not None:
             with self._lock:
                 self._emit("read_started", name)
         self._load_ctx.unit_name = name
+        self._load_ctx.worker = worker
         t0 = self._clock()
         error: Optional[BaseException] = None
         try:
             read_fn(self, name)
         except DatabaseClosedError:
-            self._load_ctx.unit_name = None
             raise
         except BaseException as exc:
             error = exc
         finally:
             self._load_ctx.unit_name = None
+            self._load_ctx.worker = None
         elapsed = self._clock() - t0
 
         with self._cond:
             unit = self._units.get(name)
             if unit is None:
                 return
+            unit.read_seconds += elapsed
             if foreground:
                 self.stats.foreground_read_seconds += elapsed
             else:
                 self.stats.io_thread_read_seconds += elapsed
+                if worker is not None:
+                    ws = self._worker_stats[worker]
+                    ws.read_seconds += elapsed
+                    if error is None:
+                        ws.units_loaded += 1
             if error is not None:
                 self._free_unit_records_locked(unit)
                 unit.state = UnitState.FAILED

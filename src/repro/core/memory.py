@@ -20,6 +20,58 @@ RECORD_OVERHEAD_BYTES = 64
 
 MB = 1024 * 1024
 
+#: Suffix multipliers for :func:`parse_mem` strings (case-insensitive).
+_MEM_SUFFIXES = {
+    "b": 1,
+    "kb": 1024,
+    "mb": MB,
+    "gb": 1024 * MB,
+    "tb": 1024 * 1024 * MB,
+}
+
+
+def parse_mem(value) -> int:
+    """Normalize a memory-budget spec to bytes.
+
+    Accepts the three spellings the ``GBO(mem=...)`` constructor takes:
+
+    * ``str`` — a number with a unit suffix (``"384MB"``, ``"1.5GB"``,
+      ``"4096 KB"``, ``"512B"``); a bare numeric string means bytes;
+    * ``int`` — a byte count;
+    * ``float`` — megabytes (matching the paper's ``new GBO(400)``
+      convention of the legacy ``mem_mb`` argument).
+    """
+    if isinstance(value, bool):
+        raise TypeError("memory budget must be a number or string")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return int(value * MB)
+    if isinstance(value, str):
+        text = value.strip().lower()
+        for suffix, multiplier in _MEM_SUFFIXES.items():
+            if text.endswith(suffix) and (
+                suffix != "b" or not text.endswith(("kb", "mb", "gb", "tb"))
+            ):
+                number = text[: -len(suffix)].strip()
+                try:
+                    return int(float(number) * multiplier)
+                except ValueError:
+                    raise ValueError(
+                        f"unparseable memory spec {value!r}"
+                    ) from None
+        try:
+            return int(text)
+        except ValueError:
+            raise ValueError(
+                f"unparseable memory spec {value!r} — expected e.g. "
+                f"'384MB', '1.5GB', or a byte count"
+            ) from None
+    raise TypeError(
+        f"memory budget must be a str, int, or float, "
+        f"not {type(value).__name__}"
+    )
+
 
 class MemoryAccountant:
     """Tracks the configured budget and the bytes currently charged."""

@@ -4,12 +4,20 @@ The paper's evaluation separates *visible I/O time* (blocking reads plus
 time spent waiting for units) from computation time, and reports I/O volume
 reductions from buffer reuse. The GBO tracks exactly those quantities so the
 benchmark harness and the N1/N2 experiments can read them off directly.
+
+The worker-pool build adds queue-depth tracking, per-wait duration samples
+(for wait-time histograms), and cancellation counts; per-worker utilization
+lives on the GBO itself (:meth:`GBO.worker_report`), since the number of
+workers is a database property, not a counter.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import MISSING, dataclass, field
+from typing import Dict, List, Sequence
+
+#: Default wait-time histogram bucket upper bounds, in seconds.
+DEFAULT_WAIT_BINS = (0.001, 0.01, 0.1, 1.0, 10.0)
 
 
 @dataclass
@@ -22,16 +30,21 @@ class GodivaStats:
 
     # --- unit traffic ------------------------------------------------
     units_added: int = 0
-    units_prefetched: int = 0          # loaded by the background I/O thread
+    units_prefetched: int = 0          # loaded by a background I/O worker
     units_read_foreground: int = 0     # loaded by blocking read_unit calls
     units_reloaded: int = 0            # re-fetched after eviction
     units_deleted: int = 0
+    units_cancelled: int = 0           # cancelled while still queued
     units_failed: int = 0
     evictions: int = 0
 
     # --- cache behaviour ---------------------------------------------
     wait_hits: int = 0     # wait_unit found the unit already resident
     wait_misses: int = 0   # wait_unit had to block (or trigger a reload)
+
+    # --- prefetch queue ----------------------------------------------
+    queue_depth_peak: int = 0   # most units ever pending at once
+    wait_boosts: int = 0        # waited-on units promoted to the front
 
     # --- memory/queries ----------------------------------------------
     bytes_allocated: int = 0   # cumulative field-buffer bytes allocated
@@ -42,23 +55,64 @@ class GodivaStats:
     # --- visible I/O time --------------------------------------------
     wait_seconds: float = 0.0       # time blocked inside wait_unit
     foreground_read_seconds: float = 0.0  # time inside blocking read_unit
-    io_thread_read_seconds: float = 0.0   # background time in read callbacks
-    io_thread_blocked_seconds: float = 0.0  # background time blocked on memory
+    io_thread_read_seconds: float = 0.0   # worker time in read callbacks
+    io_thread_blocked_seconds: float = 0.0  # worker time blocked on memory
+
+    #: Per-call durations of blocking waits (one sample per wait_unit
+    #: call that actually blocked) — the raw data behind
+    #: :meth:`wait_time_histogram`.
+    wait_samples: List[float] = field(default_factory=list)
 
     @property
     def visible_io_seconds(self) -> float:
         """The paper's 'visible input time': blocking reads + unit waits."""
         return self.wait_seconds + self.foreground_read_seconds
 
-    def snapshot(self) -> Dict[str, float]:
-        """A plain-dict copy for reporting."""
-        data = {
-            name: getattr(self, name)
-            for name in self.__dataclass_fields__
+    def wait_time_histogram(
+        self, bins: Sequence[float] = DEFAULT_WAIT_BINS
+    ) -> Dict[str, int]:
+        """Bucket the recorded wait durations by upper bound.
+
+        Returns an ordered mapping ``"<=0.010s" -> count`` with a final
+        overflow bucket ``">10.000s"``; buckets follow ``bins`` (seconds,
+        ascending).
+        """
+        edges = sorted(bins)
+        counts = [0] * (len(edges) + 1)
+        for sample in self.wait_samples:
+            for index, edge in enumerate(edges):
+                if sample <= edge:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+        histogram = {
+            f"<={edge:.3f}s": counts[index]
+            for index, edge in enumerate(edges)
         }
+        histogram[f">{edges[-1]:.3f}s"] = counts[-1]
+        return histogram
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy for reporting (scalars only; the raw wait
+        samples are summarized as count/mean/max)."""
+        data = {}
+        for name in self.__dataclass_fields__:
+            if name == "wait_samples":
+                continue
+            data[name] = getattr(self, name)
         data["visible_io_seconds"] = self.visible_io_seconds
+        samples = self.wait_samples
+        data["wait_count"] = len(samples)
+        data["wait_mean_seconds"] = (
+            sum(samples) / len(samples) if samples else 0.0
+        )
+        data["wait_max_seconds"] = max(samples) if samples else 0.0
         return data
 
     def reset(self) -> None:
         for name, fld in self.__dataclass_fields__.items():
-            setattr(self, name, fld.default)
+            if fld.default_factory is not MISSING:
+                setattr(self, name, fld.default_factory())
+            else:
+                setattr(self, name, fld.default)

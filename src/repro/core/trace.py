@@ -22,9 +22,11 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-#: Every event the GBO emits, in lifecycle order.
-EVENTS = ("added", "read_started", "loaded", "finished", "evicted",
-          "deleted", "failed")
+#: Every event the GBO emits, in lifecycle order. ``boosted`` fires when
+#: ``wait_unit`` promotes a queued unit to the front of the prefetch
+#: queue; ``cancelled`` when ``cancel_unit`` removes one before its read.
+EVENTS = ("added", "boosted", "read_started", "loaded", "finished",
+          "evicted", "deleted", "failed", "cancelled")
 
 
 @dataclass

@@ -56,9 +56,16 @@ class ProcessingUnit:
         "error",
         "resident_bytes",
         "loads",
+        "priority",
+        "worker",
+        "enqueued_at",
+        "read_started_at",
+        "queue_seconds",
+        "read_seconds",
     )
 
-    def __init__(self, name: str, read_fn: Optional[ReadFunction]):
+    def __init__(self, name: str, read_fn: Optional[ReadFunction],
+                 priority: float = 0.0):
         self.name = name
         self.read_fn = read_fn
         self.state = UnitState.QUEUED
@@ -78,6 +85,19 @@ class ProcessingUnit:
         #: Times this unit's read callback has completed (>1 after
         #: eviction + re-fetch).
         self.loads = 0
+        #: Prefetch priority: higher loads earlier; ties resolve FIFO.
+        self.priority = priority
+        #: Index of the I/O worker currently (or last) reading this unit;
+        #: None for foreground reads.
+        self.worker: Optional[int] = None
+        #: Clock stamp of the latest enqueue (add_unit or re-queue).
+        self.enqueued_at: Optional[float] = None
+        #: Clock stamp of the latest read start.
+        self.read_started_at: Optional[float] = None
+        #: Accumulated seconds spent queued before each read started.
+        self.queue_seconds = 0.0
+        #: Accumulated seconds spent inside read callbacks.
+        self.read_seconds = 0.0
 
     @property
     def evictable(self) -> bool:
@@ -101,3 +121,82 @@ class ProcessingUnit:
             f"refs={self.ref_count}, finished={self.finished}, "
             f"bytes={self.resident_bytes})"
         )
+
+
+class UnitHandle:
+    """Object-handle facade over one named processing unit.
+
+    ``gbo.add_unit(...)`` returns one, and ``gbo.unit(name)`` fetches one
+    for any known unit. The handle is a thin, stateless layer over the
+    string-name interfaces — it stores only the GBO and the unit name, so
+    handles may be freely copied, compared, and mixed with string-based
+    calls (``handle.wait()`` and ``gbo.wait_unit(handle.name)`` are
+    identical).
+    """
+
+    __slots__ = ("_gbo", "name")
+
+    def __init__(self, gbo, name: str):
+        self._gbo = gbo
+        self.name = name
+
+    # -- lifecycle verbs, chainable where it reads naturally -----------
+    def wait(self) -> "UnitHandle":
+        """Block until resident (see :meth:`GBO.wait_unit`)."""
+        self._gbo.wait_unit(self.name)
+        return self
+
+    def read(self, read_fn: Optional[ReadFunction] = None) -> "UnitHandle":
+        """Blocking foreground read (see :meth:`GBO.read_unit`)."""
+        self._gbo.read_unit(self.name, read_fn)
+        return self
+
+    def finish(self) -> None:
+        """Release one reference; evictable at zero references."""
+        self._gbo.finish_unit(self.name)
+
+    def delete(self) -> None:
+        """Free the unit's records now."""
+        self._gbo.delete_unit(self.name)
+
+    def cancel(self) -> bool:
+        """Cancel the prefetch if the read has not started yet."""
+        return self._gbo.cancel_unit(self.name)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def state(self) -> UnitState:
+        return self._gbo.unit_state(self.name)
+
+    @property
+    def is_resident(self) -> bool:
+        return self._gbo.is_resident(self.name)
+
+    @property
+    def priority(self) -> float:
+        return self._gbo.unit_priority(self.name)
+
+    @priority.setter
+    def priority(self, value: float) -> None:
+        self._gbo.set_unit_priority(self.name, value)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._gbo.resident_bytes_of(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, UnitHandle)
+            and other._gbo is self._gbo
+            and other.name == self.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._gbo), self.name))
+
+    def __repr__(self) -> str:
+        try:
+            state = self.state.value
+        except Exception:
+            state = "unknown"
+        return f"UnitHandle({self.name!r}, {state})"

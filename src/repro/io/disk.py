@@ -153,6 +153,33 @@ class IoStats:
                 "virtual_seconds": self.virtual_seconds,
             }
 
+    def merge(self, other: "IoStats") -> None:
+        """Fold another IoStats' counters into this one.
+
+        Lets a reader meter one read call in a private instance (e.g. to
+        learn that call's virtual cost) and then contribute the traffic to
+        the application-wide aggregate.
+        """
+        with other._lock:
+            bytes_read = other.bytes_read
+            read_calls = other.read_calls
+            seeks = other.seeks
+            settles = other.settles
+            opens = other.opens
+            virtual_seconds = other.virtual_seconds
+            per_file = dict(other.per_file_bytes)
+        with self._lock:
+            self.bytes_read += bytes_read
+            self.read_calls += read_calls
+            self.seeks += seeks
+            self.settles += settles
+            self.opens += opens
+            self.virtual_seconds += virtual_seconds
+            for path, nbytes in per_file.items():
+                self.per_file_bytes[path] = (
+                    self.per_file_bytes.get(path, 0) + nbytes
+                )
+
     def reset(self) -> None:
         with self._lock:
             self.bytes_read = 0

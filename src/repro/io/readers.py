@@ -6,12 +6,16 @@ fills the buffers with contents read from input files" (section 3.2).
 This module builds such callbacks for the :mod:`repro.gen.snapshot` SDF
 layout — one processing unit per time-step snapshot (all eight files), as
 Voyager uses in the evaluation ("Voyager uses all the files in the same
-time-step snapshot as a processing unit", section 4.1).
+time-step snapshot as a processing unit", section 4.1). The worker-pool
+build adds a finer granularity: one unit per *file* of a snapshot
+(:func:`make_file_read_fn`), the shape under which a pool of I/O workers
+can overlap several reads of the same snapshot.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.database import GBO
 from repro.core.schema import RecordSchema, SchemaField
@@ -85,6 +89,25 @@ def unit_step(unit_name: str) -> int:
     return int(number)
 
 
+def file_unit_name(step: int, file_index: int) -> str:
+    """Canonical unit name for one file of a snapshot: ``snap:0007:f02``."""
+    return f"snap:{step:04d}:f{file_index:02d}"
+
+
+def unit_step_file(unit_name: str) -> Tuple[int, int]:
+    """Inverse of :func:`file_unit_name` — (step, file index)."""
+    parts = unit_name.split(":")
+    if (
+        len(parts) != 3
+        or parts[0] != "snap"
+        or not parts[1].isdigit()
+        or not parts[2].startswith("f")
+        or not parts[2][1:].isdigit()
+    ):
+        raise ValueError(f"not a file unit name: {unit_name!r}")
+    return int(parts[1]), int(parts[2][1:])
+
+
 def load_snapshot_records(
     gbo: GBO,
     manifest: DatasetManifest,
@@ -115,33 +138,82 @@ def load_snapshot_records(
     tsid = manifest.snapshots[step].tsid
     count = 0
     for path in manifest.snapshot_paths(step):
-        with open_scientific_file(
-            path, manifest.file_format, stats=stats, profile=profile
-        ) as reader:
-            attrs = reader.file_attributes()
-            block_ids = [
-                b for b in attrs["block_ids"].split(",") if b
-            ]
-            if block_filter is not None:
-                block_ids = [
-                    b for b in block_ids if b in block_filter
-                ]
-            for block_id in block_ids:
-                record = gbo.new_record(schema.name)
-                record.field("block id").write(
-                    block_key(block_id).encode("ascii")
-                )
-                record.field("time-step id").write(tsid.encode("ascii"))
-                for name in wanted:
-                    dataset = f"{name}:{block_id}"
-                    info = reader.info(dataset)
-                    buf = gbo.alloc_field_buffer(
-                        record, name, info.data_nbytes
-                    )
-                    reader.read_into(dataset, buf.as_array())
-                gbo.commit_record(record)
-                count += 1
+        count += _load_file_records(
+            gbo, schema, path, manifest.file_format, tsid, wanted,
+            block_filter, stats, profile,
+        )
     return count
+
+
+def _load_file_records(gbo, schema, path, file_format, tsid, wanted,
+                       block_filter, stats, profile) -> int:
+    """Load one dataset file's blocks as 'solid' records."""
+    count = 0
+    with open_scientific_file(
+        path, file_format, stats=stats, profile=profile
+    ) as reader:
+        attrs = reader.file_attributes()
+        block_ids = [
+            b for b in attrs["block_ids"].split(",") if b
+        ]
+        if block_filter is not None:
+            block_ids = [
+                b for b in block_ids if b in block_filter
+            ]
+        for block_id in block_ids:
+            record = gbo.new_record(schema.name)
+            record.field("block id").write(
+                block_key(block_id).encode("ascii")
+            )
+            record.field("time-step id").write(tsid.encode("ascii"))
+            for name in wanted:
+                dataset = f"{name}:{block_id}"
+                info = reader.info(dataset)
+                buf = gbo.alloc_field_buffer(
+                    record, name, info.data_nbytes
+                )
+                reader.read_into(dataset, buf.as_array())
+            gbo.commit_record(record)
+            count += 1
+    return count
+
+
+def load_snapshot_file_records(
+    gbo: GBO,
+    manifest: DatasetManifest,
+    step: int,
+    file_index: int,
+    fields: Optional[Sequence[str]] = None,
+    stats: Optional[IoStats] = None,
+    profile: DiskProfile = NULL_DISK,
+    blocks: Optional[Sequence[str]] = None,
+) -> int:
+    """Read one file of one snapshot into ``gbo`` as 'solid' records.
+
+    The per-file analogue of :func:`load_snapshot_records` — records of
+    every file of a snapshot carry the same key pair, so queries are
+    unchanged whichever unit granularity loaded them.
+    """
+    schema = solid_schema()
+    schema.ensure(gbo)
+    requested = {"coords", "conn"}
+    requested.update(fields if fields is not None else ALL_SOLID_FIELDS)
+    wanted = [name for name in ALL_SOLID_FIELDS if name in requested]
+    block_filter = set(blocks) if blocks is not None else None
+
+    paths = manifest.snapshot_paths(step)
+    try:
+        path = paths[file_index]
+    except IndexError:
+        raise ValueError(
+            f"snapshot {step} has {len(paths)} files; "
+            f"no file index {file_index}"
+        ) from None
+    return _load_file_records(
+        gbo, schema, path, manifest.file_format,
+        manifest.snapshots[step].tsid, wanted, block_filter, stats,
+        profile,
+    )
 
 
 def make_snapshot_read_fn(
@@ -165,5 +237,49 @@ def make_snapshot_read_fn(
             fields=fields, stats=stats, profile=profile,
             blocks=blocks,
         )
+
+    return read_fn
+
+
+def make_file_read_fn(
+    manifest: DatasetManifest,
+    fields: Optional[Sequence[str]] = None,
+    stats: Optional[IoStats] = None,
+    profile: DiskProfile = NULL_DISK,
+    blocks: Optional[Sequence[str]] = None,
+    pace: bool = False,
+    sleep=time.sleep,
+) -> ReadFunction:
+    """Build a read callback for per-file units (:func:`file_unit_name`).
+
+    With ``pace=True`` each call meters its own traffic through the disk
+    cost model and then sleeps for that virtual duration, so wall-clock
+    read time matches what the profiled disk would take. Sleeping
+    releases the GIL, which is what lets a pool of I/O workers genuinely
+    overlap paced reads of different files — the benchmark harness uses
+    this to study worker scaling on hosts whose page cache would
+    otherwise make every read nearly instant. Traffic is still folded
+    into ``stats`` when provided.
+    """
+
+    def read_fn(gbo: GBO, unit_name: str) -> None:
+        step, file_index = unit_step_file(unit_name)
+        if pace:
+            local = IoStats()
+            load_snapshot_file_records(
+                gbo, manifest, step, file_index,
+                fields=fields, stats=local, profile=profile,
+                blocks=blocks,
+            )
+            if stats is not None:
+                stats.merge(local)
+            if local.virtual_seconds > 0.0:
+                sleep(local.virtual_seconds)
+        else:
+            load_snapshot_file_records(
+                gbo, manifest, step, file_index,
+                fields=fields, stats=stats, profile=profile,
+                blocks=blocks,
+            )
 
     return read_fn

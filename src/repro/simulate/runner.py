@@ -11,10 +11,15 @@ methodology of section 4.2:
   exactly as the paper reports).
 
 The TG schedule mirrors the library's actual behaviour: all units are
-added up front; a background I/O process prefetches them in order,
-bounded by a memory window (budget / unit size); the main process waits
-for each unit, computes, and deletes it. TG1 adds a CPU-hogging
-competitor process (the paper's "another computation-intensive program").
+added up front; a pool of background I/O processes (``io_workers``, 1 by
+default = the paper's single thread) prefetches them in order, bounded
+by a memory window (budget / unit size); the main process waits for each
+unit, computes, and deletes it. ``files_per_snapshot`` splits each
+snapshot into that many independently-prefetchable file units — the
+workload shape where extra workers pay off, since several files of the
+same snapshot can stream from disk and decode concurrently. TG1 adds a
+CPU-hogging competitor process (the paper's "another
+computation-intensive program").
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ class SimRunResult:
     n_snapshots: int
     total_s: float
     visible_io_s: float
+    io_workers: int = 1
+    files_per_snapshot: int = 1
     per_unit_wait_s: List[float] = field(default_factory=list)
     #: Resource utilization: CPU-seconds actually consumed and disk
     #: busy time — lets benches report how overlap shifts load.
@@ -62,6 +69,8 @@ def simulate_voyager(
     competitor: bool = False,
     jitter: float = 0.0,
     seed: int = 0,
+    io_workers: int = 1,
+    files_per_snapshot: int = 1,
 ) -> SimRunResult:
     """Simulate one Voyager run.
 
@@ -77,11 +86,20 @@ def simulate_voyager(
     noise, which is what keeps prefetching from hiding *all* I/O even on
     two CPUs (the paper reports 81-91 % hidden, with error bars from five
     runs; re-run with different ``seed`` values to reproduce those).
+
+    ``io_workers`` (TG only) sizes the background prefetch pool;
+    ``files_per_snapshot`` splits each snapshot's I/O demand across that
+    many separately-loadable file units. The defaults of 1/1 replay the
+    paper's exact single-thread schedule, event for event.
     """
     if mode not in ("O", "G", "TG"):
         raise ValueError(f"unknown mode {mode!r}")
     if window_units < 1:
         raise ValueError("window must allow at least one unit")
+    if io_workers < 1:
+        raise ValueError("io_workers must be at least 1")
+    if files_per_snapshot < 1:
+        raise ValueError("files_per_snapshot must be at least 1")
 
     sim = Simulator()
     cpu, disk = machine.build(sim)
@@ -129,27 +147,45 @@ def simulate_voyager(
 
         sim.spawn(blocking_proc())
     else:
-        window = Semaphore(sim, window_units)
-        loaded = [Condition(sim) for _ in range(n)]
+        files = files_per_snapshot
+        # The window is counted in file units so the resident-snapshot
+        # bound stays window_units regardless of the file split.
+        window = Semaphore(sim, window_units * files)
+        loaded = [[Condition(sim) for _f in range(files)]
+                  for _i in range(n)]
+        # Shared task cursor: workers claim (snapshot, file) chunks in
+        # queue order. Claiming involves no yield, so it is atomic under
+        # the engine's cooperative scheduling; with io_workers=1 and
+        # files_per_snapshot=1 this replays the seed schedule exactly.
+        tasks = [(i, j) for i in range(n) for j in range(files)]
+        cursor = {"next": 0}
 
-        def io_thread():
-            for i in range(n):
+        def io_worker():
+            while True:
+                index = cursor["next"]
+                if index >= len(tasks):
+                    return
+                cursor["next"] = index + 1
+                i, j = tasks[index]
                 yield window.acquire()
-                yield disk.read(disk_s * io_factor[i])
-                yield cpu.use(parse_s * io_factor[i])
-                loaded[i].set()
+                yield disk.read(disk_s * io_factor[i] / files)
+                yield cpu.use(parse_s * io_factor[i] / files)
+                loaded[i][j].set()
 
         def main_thread():
             for i in range(n):
                 t0 = sim.now
-                yield loaded[i].wait()
+                for j in range(files):
+                    yield loaded[i][j].wait()
                 waits.append(sim.now - t0)
                 yield cpu.use(workload.compute_s * compute_factor[i])
-                window.release()     # delete_unit frees the memory
+                for _ in range(files):
+                    window.release()   # delete_unit frees the memory
             state["stop"] = True
             state["total"] = sim.now
 
-        sim.spawn(io_thread())
+        for _w in range(io_workers):
+            sim.spawn(io_worker())
         sim.spawn(main_thread())
 
     sim.run()
@@ -160,6 +196,8 @@ def simulate_voyager(
         n_snapshots=n,
         total_s=state["total"],
         visible_io_s=sum(waits),
+        io_workers=io_workers if mode == "TG" else 1,
+        files_per_snapshot=files_per_snapshot if mode == "TG" else 1,
         per_unit_wait_s=waits,
         cpu_busy_s=cpu.busy_cpu_seconds,
         disk_busy_s=disk.busy_seconds,

@@ -57,6 +57,9 @@ class VoyagerConfig:
     camera: Optional[Camera] = None
     disk: DiskProfile = ENGLE_DISK
     eviction_policy: str = "lru"
+    #: Background I/O worker pool size for the TG mode; 1 is the paper's
+    #: single prefetch thread.
+    io_workers: int = 1
     render: bool = True
     steps: Optional[int] = None          # limit snapshot count
     gops: Optional[GraphicsOps] = None   # overrides `test` if given
@@ -329,6 +332,7 @@ class Voyager:
         with GBO(
             mem_mb=self.config.mem_mb,
             background_io=multi_thread,
+            io_workers=self.config.io_workers if multi_thread else 1,
             eviction_policy=self.config.eviction_policy,
         ) as gbo:
             solid_schema().ensure(gbo)
@@ -404,6 +408,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="parallel worker processes (snapshots are "
                              "partitioned across them)")
+    parser.add_argument("--io-workers", type=int, default=1,
+                        help="background I/O threads in the TG mode "
+                             "(1 = the paper's single prefetch thread)")
     args = parser.parse_args(argv)
 
     config = VoyagerConfig(
@@ -411,6 +418,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         test=args.test,
         mode=args.mode,
         mem_mb=args.mem_mb,
+        io_workers=args.io_workers,
         out_dir=args.out,
         render=not args.no_render,
         steps=args.steps,

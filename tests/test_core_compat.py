@@ -5,6 +5,10 @@ import pytest
 from repro.core.compat import PAPER_ALIASES, PaperGBO, install_paper_aliases
 from repro.core.types import UNKNOWN, DataType
 
+# The aliases deprecation-warn by design; these tests exercise them on
+# purpose (test_aliases_emit_deprecation_warnings asserts the warning).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def test_alias_table_covers_figure1_interfaces():
     # The three interface groups of Figure 1 plus schema/memory calls.
@@ -87,4 +91,37 @@ def test_install_on_custom_subclass():
         pass
 
     install_paper_aliases(MyGbo)
-    assert MyGbo.addUnit is MyGbo.add_unit
+    assert callable(MyGbo.addUnit)
+    assert MyGbo.addUnit.__wrapped__ is MyGbo.add_unit
+
+
+def test_aliases_emit_deprecation_warnings():
+    godiva = PaperGBO(4)
+    try:
+        with pytest.warns(DeprecationWarning, match="defineField"):
+            godiva.defineField("f", DataType.INT32, 4)
+        with pytest.warns(DeprecationWarning, match="setMemSpace"):
+            godiva.setMemSpace(8)
+        assert godiva.mem_budget_bytes == 8 * 1024 * 1024
+    finally:
+        godiva.close()
+
+
+def test_paper_gbo_positional_number_means_megabytes():
+    godiva = PaperGBO(400)
+    try:
+        assert godiva.mem_budget_bytes == 400 * 1024 * 1024
+    finally:
+        godiva.close()
+    # Modern spellings pass through unchanged.
+    godiva = PaperGBO("16MB", io_workers=2)
+    try:
+        assert godiva.mem_budget_bytes == 16 * 1024 * 1024
+        assert godiva.io_workers == 2
+    finally:
+        godiva.close()
+
+
+def test_cancel_unit_alias_present():
+    assert PAPER_ALIASES["cancelUnit"] == "cancel_unit"
+    assert callable(PaperGBO.cancelUnit)

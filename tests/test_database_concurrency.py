@@ -15,6 +15,7 @@ from repro.core.database import GBO
 from repro.core.schema import RecordSchema, SchemaField
 from repro.core.types import DataType
 from repro.core.units import UnitState
+from repro.errors import GodivaDeadlockError
 
 ITEM = RecordSchema("item", (
     SchemaField("id", DataType.STRING, 16, is_key=True),
@@ -166,3 +167,130 @@ class TestConcurrentLifecycle:
 
             run_threads(3, cycler)
             assert gbo.mem_used_bytes <= gbo.mem_budget_bytes
+
+
+UNIT_BYTES = 1000
+# Per-unit footprint: key + data buffer + record overhead (see the
+# accounting test above: 16 + nbytes + 64).
+UNIT_FOOTPRINT = 16 + UNIT_BYTES + 64
+
+
+@pytest.mark.parametrize("io_workers", [1, 2, 4])
+class TestWorkerPoolStress:
+    """The tentpole under pressure: many units, a budget that holds only
+    a handful, and every pool size. Whatever the worker count, no waiter
+    may sleep forever and the accountant must balance.
+
+    Well-behaved workloads bound their prefetch-ahead window below the
+    budget, as the paper's viz pipeline does — with a pool, enqueueing
+    the whole dataset against a tiny budget lets workers fill memory
+    with units nobody has consumed yet, which is a *real* deadlock (see
+    ``test_deadlock_detected_with_worker_pool`` below)."""
+
+    def test_many_units_small_budget(self, io_workers):
+        n_units = 40
+        window = 4
+        budget = 6 * UNIT_FOOTPRINT
+        with GBO(mem_bytes=budget, io_workers=io_workers) as gbo:
+            handles = {}
+            added = 0
+            for i in range(n_units):
+                while added < min(n_units, i + window):
+                    handles[added] = gbo.add_unit(
+                        f"u{added:03d}",
+                        reader(nbytes=UNIT_BYTES),
+                        priority=float(n_units - added),
+                    )
+                    added += 1
+                handle = handles.pop(i)
+                handle.wait()
+                value = gbo.get_field_buffer(
+                    "item", "data", [f"u{i:03d}".ljust(16).encode()]
+                )[0]
+                assert value == 3.0
+                handle.delete()
+            assert gbo.mem_used_bytes == 0
+            states = {s for _n, s in gbo.list_units()}
+            assert states == {UnitState.DELETED}
+            assert gbo.stats.units_deleted == n_units
+
+    def test_no_lost_wakeups_under_eviction_churn(self, io_workers):
+        """Waiters racing evictions: each wait_unit must either find the
+        unit resident or trigger a re-read — never hang. A global join
+        timeout converts a lost wakeup into a test failure."""
+        n_units = 24
+        with GBO(
+            mem_bytes=n_units * UNIT_FOOTPRINT + 1024,
+            io_workers=io_workers,
+        ) as gbo:
+            for i in range(n_units):
+                gbo.add_unit(f"u{i:03d}", reader(nbytes=UNIT_BYTES))
+
+            def churner(index):
+                for i in range(index, n_units, 3):
+                    name = f"u{i:03d}"
+                    gbo.wait_unit(name)
+                    gbo.finish_unit(name)
+
+            run_threads(3, churner)
+            # Mass eviction, then a re-wait pass: every wait must
+            # trigger a reload through the queue (boosted to the front)
+            # rather than hanging on an evicted unit.
+            gbo.set_mem_space(mem_bytes=4 * UNIT_FOOTPRINT)
+            threads = [
+                threading.Thread(target=churner, args=(i,), daemon=True)
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            deadline = time.monotonic() + 60.0
+            for t in threads:
+                t.join(timeout=max(0.0, deadline - time.monotonic()))
+            stuck = [t for t in threads if t.is_alive()]
+            assert not stuck, "lost wakeup: churner threads never finished"
+            assert gbo.stats.units_reloaded >= n_units - 4
+            assert gbo.mem_used_bytes <= gbo.mem_budget_bytes
+
+    def test_eviction_accounting_balances(self, io_workers):
+        """After heavy churn the bytes charged equal the bytes of what
+        is actually resident — evictions refunded exactly once."""
+        n_units = 30
+        window = 4
+        budget = 6 * UNIT_FOOTPRINT
+        with GBO(mem_bytes=budget, io_workers=io_workers) as gbo:
+            added = 0
+            for i in range(n_units):
+                while added < min(n_units, i + window):
+                    gbo.add_unit(
+                        f"u{added:03d}", reader(nbytes=UNIT_BYTES)
+                    )
+                    added += 1
+                gbo.wait_unit(f"u{i:03d}")
+                gbo.finish_unit(f"u{i:03d}")
+            resident = sum(
+                1 for _n, s in gbo.list_units() if s is UnitState.RESIDENT
+            )
+            assert gbo.mem_used_bytes == resident * UNIT_FOOTPRINT
+            assert gbo.stats.evictions >= n_units - resident
+            # Every eviction refunded exactly once: the running ledger
+            # matches what is actually resident.
+            assert (
+                gbo.stats.bytes_allocated - gbo.stats.bytes_released
+                == gbo.mem_used_bytes
+            )
+
+    def test_deadlock_detected_with_worker_pool(self, io_workers):
+        """The generalized detector: with N workers all blocked on a
+        budget full of never-finished units, waiting on a still-queued
+        unit must raise rather than hang."""
+        budget = 2 * UNIT_FOOTPRINT
+        with GBO(mem_bytes=budget, io_workers=io_workers) as gbo:
+            for i in range(io_workers + 4):
+                gbo.add_unit(f"u{i}", reader(nbytes=UNIT_BYTES))
+            gbo.wait_unit("u0")
+            gbo.wait_unit("u1")
+            # u0/u1 fill the budget and are never finished: every worker
+            # ends up blocked and the tail unit can never load.
+            with pytest.raises(GodivaDeadlockError,
+                               match="finish_unit/delete_unit"):
+                gbo.wait_unit(f"u{io_workers + 3}")

@@ -1,6 +1,5 @@
 """GBO record operations and dataset queries (sections 3.1 and 3.3)."""
 
-import numpy as np
 import pytest
 
 from repro.core.database import GBO

@@ -1,9 +1,5 @@
 """GBO unit lifecycle: add/read/wait/finish/delete (section 3.2)."""
 
-import threading
-import time
-
-import numpy as np
 import pytest
 
 from repro.core.database import GBO

@@ -8,8 +8,6 @@ every bench the experiment index references is present.
 import os
 import re
 
-import pytest
-
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 

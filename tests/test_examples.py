@@ -7,7 +7,6 @@ here (keeping the suite quick while guaranteeing no example rots).
 
 import importlib.util
 import os
-import sys
 
 import pytest
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.gen.partition import (
-    MeshBlock,
     block_id_string,
     duplicated_node_count,
     partition_slabs,

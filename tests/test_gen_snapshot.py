@@ -11,7 +11,6 @@ from repro.gen.snapshot import (
     TIMESTEP_ID_SIZE,
     SnapshotSpec,
     block_key,
-    generate_dataset,
     load_manifest,
     timestep_id,
 )

@@ -1,7 +1,5 @@
 """The Table 1 / Figure 2 fluid-block example — exact sizes."""
 
-import pytest
-
 from repro.gen.structured_fluid import (
     fluid_block_arrays,
     make_fluid_block_record,

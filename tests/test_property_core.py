@@ -10,7 +10,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
-    initialize,
     invariant,
     rule,
 )
@@ -18,7 +17,7 @@ from hypothesis.stateful import (
 from repro.core.database import GBO
 from repro.core.index import normalize_key_values
 from repro.core.schema import RecordSchema, SchemaField
-from repro.core.types import UNKNOWN, DataType
+from repro.core.types import DataType
 from repro.core.units import UnitState
 
 ITEM = RecordSchema("item", (

@@ -1,9 +1,6 @@
 """Property-based tests for the storage formats (hypothesis)."""
 
-import os
-
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays, array_shapes

@@ -7,7 +7,7 @@ from hypothesis.extra.numpy import arrays
 
 from repro.gen.tetmesh import structured_tet_block
 from repro.viz.colormap import Colormap
-from repro.viz.geometry import element_to_node, triangle_areas
+from repro.viz.geometry import element_to_node
 from repro.viz.isosurface import marching_tets
 from repro.viz.slice_plane import slice_mesh
 

@@ -1,7 +1,5 @@
 """Marching tetrahedra: case coverage, interpolation, surface sanity."""
 
-import itertools
-
 import numpy as np
 import pytest
 
