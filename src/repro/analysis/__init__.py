@@ -1,0 +1,65 @@
+"""Concurrency sanitizer and static analysis for the GODIVA library.
+
+Three layers, all optional and all off by default:
+
+1. **Instrumented primitives** (:mod:`repro.analysis.primitives`) —
+   :func:`TrackedLock`/:func:`TrackedCondition` factories used by every
+   lock owner in the library. Disabled (the default) they return plain
+   ``threading`` objects; enabled (``REPRO_ANALYSIS=1`` or
+   :func:`enable`), they feed a global lock-order graph
+   (:mod:`repro.analysis.lockorder`) whose cycles are reported as
+   potential deadlocks with both acquisition stacks, and enforce the
+   "Lock held." docstring contracts at runtime.
+2. **Lockset race detection** (:mod:`repro.analysis.races`) — an
+   Eraser-style detector over fields annotated with
+   :func:`~repro.analysis.races.guarded_by`; the pytest races fixture
+   turns the existing ``test_database_*`` suites into race tests.
+3. **repro-lint** (:mod:`repro.analysis.lint`) — repo-specific AST
+   rules (no bare locks, waits in while loops, no paper aliases outside
+   compat, no mutable defaults, docstring/annotation coverage) with a
+   committed baseline, run in CI.
+
+See ``docs/ANALYSIS.md`` for the operator's guide.
+"""
+
+from repro.analysis.lockorder import (
+    GLOBAL_GRAPH,
+    LockOrderEdge,
+    LockOrderGraph,
+)
+from repro.analysis.primitives import (
+    ENV_FLAG,
+    TrackedCondition,
+    TrackedLock,
+    analysis_enabled,
+    assert_lock_held,
+    current_lockset,
+    disable,
+    enable,
+    make_held_checker,
+)
+from repro.analysis.races import (
+    TRACKER,
+    LocksetTracker,
+    RaceReport,
+    guarded_by,
+)
+
+__all__ = [
+    "ENV_FLAG",
+    "TrackedLock",
+    "TrackedCondition",
+    "analysis_enabled",
+    "enable",
+    "disable",
+    "assert_lock_held",
+    "make_held_checker",
+    "current_lockset",
+    "GLOBAL_GRAPH",
+    "LockOrderGraph",
+    "LockOrderEdge",
+    "TRACKER",
+    "LocksetTracker",
+    "RaceReport",
+    "guarded_by",
+]

@@ -1,0 +1,426 @@
+"""``repro-lint`` — custom AST lint rules for the GODIVA codebase.
+
+Beyond generic style (ruff already runs in CI), this enforces the
+repo-specific concurrency and API conventions that reviews kept
+re-litigating by hand:
+
+=======  ==============================================================
+Rule     Meaning
+=======  ==============================================================
+REP101   No bare ``threading.Lock()``/``RLock()``/``Condition()``/
+         ``Semaphore()`` outside :mod:`repro.analysis` — use the
+         :func:`~repro.analysis.primitives.TrackedLock` /
+         :func:`~repro.analysis.primitives.TrackedCondition` factories
+         so the sanitizer can see every lock.
+REP102   ``<something named *cond*>.wait(...)`` must be lexically inside
+         a ``while`` loop: condition waits without a predicate re-check
+         are lost-wakeup bugs waiting to happen.
+REP103   No camelCase paper aliases (``addUnit``, ``defineField``, …)
+         defined or called outside ``core/compat.py`` — the compat shim
+         is the one place the paper's C++ spellings live.
+REP104   No mutable default arguments (list/dict/set literals,
+         comprehensions, or constructor calls).
+REP105   Public modules, classes, functions and methods need docstrings.
+REP106   Public functions and methods need complete type annotations
+         (every parameter and the return type).
+=======  ==============================================================
+
+Pre-existing violations live in a committed baseline file
+(``.repro-lint-baseline.json``); the build fails only on *new* ones,
+so the rules can be adopted without a flag-day cleanup. Run
+``repro-lint --update-baseline`` after deliberately accepting a new
+suppression.
+
+The linter is pure ``ast`` — it never imports the code under analysis,
+so it runs in a bare CI container in milliseconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence, Set
+
+#: Paper-API camelCase spellings (mirrors ``PAPER_ALIASES`` in
+#: ``repro.core.compat``; a unit test keeps the two in sync so the
+#: linter never has to import the library it lints).
+PAPER_ALIAS_NAMES = frozenset({
+    "defineField", "defineRecord", "insertField", "commitRecordType",
+    "newRecord", "allocFieldBuffer", "commitRecord", "getFieldBuffer",
+    "getFieldBufferSize", "addUnit", "readUnit", "waitUnit",
+    "finishUnit", "deleteUnit", "cancelUnit", "setMemSpace",
+})
+
+_THREADING_PRIMITIVES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+})
+
+#: Path fragments exempt from the concurrency rules: the sanitizer's
+#: own wrappers must build on the raw primitives, and the compat shim
+#: owns the camelCase names.
+_CONCURRENCY_EXEMPT = ("repro/analysis/",)
+_ALIAS_EXEMPT = ("repro/core/compat.py",)
+
+_MUTABLE_DEFAULT_NODES = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "deque"})
+
+
+class Violation:
+    """One lint finding, identified stably for the baseline."""
+
+    __slots__ = ("rule", "path", "line", "symbol", "message")
+
+    def __init__(self, rule: str, path: str, line: int, symbol: str,
+                 message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.symbol = symbol
+        self.message = message
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity so baselines survive edits above
+        the suppressed site."""
+        return f"{self.rule}:{self.path}:{self.symbol}"
+
+    def __repr__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _normalize(path: str, root: Optional[str] = None) -> str:
+    rel = os.path.relpath(path, root) if root else path
+    return rel.replace(os.sep, "/")
+
+
+def _is_exempt(path: str, fragments: Sequence[str]) -> bool:
+    return any(fragment in path for fragment in fragments)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.violations: List[Violation] = []
+        self._scope: List[str] = []
+        self._class_depth = 0
+        self._while_depth = 0
+        self._threading_imports: Set[str] = set()
+        self._concurrency_exempt = _is_exempt(path, _CONCURRENCY_EXEMPT)
+        self._alias_exempt = _is_exempt(path, _ALIAS_EXEMPT)
+
+    # -- plumbing ------------------------------------------------------
+    def _qualname(self, name: Optional[str] = None) -> str:
+        parts = self._scope + ([name] if name else [])
+        return ".".join(parts) if parts else "<module>"
+
+    def _add(self, rule: str, node: ast.AST, message: str,
+             symbol: Optional[str] = None) -> None:
+        self.violations.append(Violation(
+            rule, self.path, getattr(node, "lineno", 0),
+            symbol or self._qualname(), message,
+        ))
+
+    # -- imports (for bare Lock()/Condition() detection) ---------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "threading":
+            for alias in node.names:
+                if alias.name in _THREADING_PRIMITIVES:
+                    self._threading_imports.add(
+                        alias.asname or alias.name
+                    )
+        self.generic_visit(node)
+
+    # -- module docstring ----------------------------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        if ast.get_docstring(node) is None:
+            self._add("REP105", node, "module is missing a docstring",
+                      symbol="<module>")
+        self.generic_visit(node)
+
+    # -- rule dispatch on defs -----------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_camelcase_def(node)
+        if self._is_public_context(node.name) \
+                and ast.get_docstring(node) is None:
+            self._add("REP105", node,
+                      f"public class {node.name!r} is missing a "
+                      f"docstring", symbol=self._qualname(node.name))
+        self._scope.append(node.name)
+        self._class_depth += 1
+        self.generic_visit(node)
+        self._class_depth -= 1
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        self._check_camelcase_def(node)
+        self._check_mutable_defaults(node)
+        if self._is_public_context(node.name):
+            if ast.get_docstring(node) is None \
+                    and not self._is_trivial_def(node):
+                self._add(
+                    "REP105", node,
+                    f"public function {node.name!r} is missing a "
+                    f"docstring", symbol=self._qualname(node.name),
+                )
+            missing = self._missing_annotations(node)
+            if missing:
+                self._add(
+                    "REP106", node,
+                    f"public function {node.name!r} lacks type "
+                    f"annotations for: {', '.join(missing)}",
+                    symbol=self._qualname(node.name),
+                )
+        self._scope.append(node.name)
+        while_depth = self._while_depth
+        self._while_depth = 0   # a nested def starts a fresh context
+        self.generic_visit(node)
+        self._while_depth = while_depth
+        self._scope.pop()
+
+    def visit_While(self, node: ast.While) -> None:
+        for child in node.body:
+            self._while_depth += 1
+            self.visit(child)
+            self._while_depth -= 1
+        for child in node.orelse:
+            self.visit(child)
+
+    # -- calls: bare primitives, cond.wait, alias calls ----------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if not self._concurrency_exempt:
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == "threading" \
+                    and func.attr in _THREADING_PRIMITIVES:
+                self._add(
+                    "REP101", node,
+                    f"bare threading.{func.attr}() — use the "
+                    f"repro.analysis.primitives Tracked* factories",
+                )
+            elif isinstance(func, ast.Name) \
+                    and func.id in self._threading_imports:
+                self._add(
+                    "REP101", node,
+                    f"bare {func.id}() imported from threading — use "
+                    f"the repro.analysis.primitives Tracked* factories",
+                )
+            if isinstance(func, ast.Attribute) and func.attr == "wait" \
+                    and self._receiver_is_condition(func.value) \
+                    and self._while_depth == 0:
+                self._add(
+                    "REP102", node,
+                    "Condition.wait outside a while predicate loop — "
+                    "spurious wakeups and missed notifies require "
+                    "`while not predicate: cond.wait()`",
+                )
+        if not self._alias_exempt and isinstance(func, ast.Attribute) \
+                and func.attr in PAPER_ALIAS_NAMES:
+            self._add(
+                "REP103", node,
+                f"camelCase paper alias {func.attr!r} called outside "
+                f"core/compat.py — use the snake_case API",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _receiver_is_condition(value: ast.AST) -> bool:
+        if isinstance(value, ast.Attribute):
+            return "cond" in value.attr.lower()
+        if isinstance(value, ast.Name):
+            return "cond" in value.id.lower()
+        return False
+
+    # -- helpers for the def rules -------------------------------------
+    def _check_camelcase_def(self, node) -> None:
+        if self._alias_exempt:
+            return
+        name = node.name
+        if name.lower() != name and name[:1].islower() \
+                and "_" not in name:
+            self._add(
+                "REP103", node,
+                f"camelCase definition {name!r} outside core/compat.py",
+                symbol=self._qualname(name),
+            )
+
+    def _check_mutable_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, _MUTABLE_DEFAULT_NODES) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            )
+            if mutable:
+                self._add(
+                    "REP104", node,
+                    f"mutable default argument in {node.name!r} — "
+                    f"default to None and create inside the body",
+                    symbol=self._qualname(node.name),
+                )
+
+    def _is_public_context(self, name: str) -> bool:
+        if name.startswith("_"):
+            return False
+        return not any(part.startswith("_") for part in self._scope)
+
+    @staticmethod
+    def _is_trivial_def(node) -> bool:
+        """Single-statement bodies (pass/...) skip the docstring rule."""
+        body = node.body
+        return len(body) == 1 and isinstance(
+            body[0], (ast.Pass, ast.Raise)
+        ) or (
+            len(body) == 1 and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and body[0].value.value is Ellipsis
+        )
+
+    def _missing_annotations(self, node) -> List[str]:
+        missing = []
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        for arg in positional + list(args.kwonlyargs):
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None and node.name != "__init__" \
+                and not any(
+                    isinstance(d, ast.Name) and d.id == "property"
+                    for d in node.decorator_list
+                ):
+            missing.append("return")
+        return missing
+
+
+def lint_source(source: str, path: str) -> List[Violation]:
+    """Lint one file's source text; ``path`` is used for reporting and
+    for the path-scoped exemptions."""
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, source)
+    linter.visit(tree)
+    return linter.violations
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("__pycache__", ".git")]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_paths(paths: Iterable[str],
+               root: Optional[str] = None) -> List[Violation]:
+    """Lint every Python file under ``paths``."""
+    violations: List[Violation] = []
+    for filepath in iter_python_files(paths):
+        normalized = _normalize(filepath, root)
+        with open(filepath, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        violations.extend(lint_source(source, normalized))
+    return violations
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Read the accepted-violation keys from a baseline JSON file."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return set(data.get("suppressions", []))
+
+
+def write_baseline(path: str, violations: List[Violation]) -> None:
+    """Record the given violations as the accepted baseline."""
+    payload = {
+        "comment": (
+            "Accepted pre-existing repro-lint violations. CI fails "
+            "only on keys not listed here; regenerate deliberately "
+            "with: repro-lint --update-baseline"
+        ),
+        "suppressions": sorted({v.key for v in violations}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point (``repro-lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="GODIVA repo-specific concurrency/API lint",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", default=".repro-lint-baseline.json",
+        help="baseline file of accepted violation keys",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every violation, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to accept all current violations",
+    )
+    args = parser.parse_args(argv)
+
+    violations = lint_paths(args.paths)
+    if args.update_baseline:
+        write_baseline(args.baseline, violations)
+        print(f"baseline updated: {len(violations)} suppression(s) "
+              f"written to {args.baseline}")
+        return 0
+
+    baseline = set() if args.no_baseline else load_baseline(
+        args.baseline
+    )
+    new = [v for v in violations if v.key not in baseline]
+    suppressed = len(violations) - len(new)
+    for violation in new:
+        print(violation)
+    stale = baseline - {v.key for v in violations}
+    summary = (
+        f"repro-lint: {len(new)} new violation(s), "
+        f"{suppressed} baselined"
+    )
+    if stale:
+        summary += f", {len(stale)} stale suppression(s) (clean up!)"
+    print(summary)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,11 @@ and query interfaces but performs each read "inside the corresponding
 
 Thread-safety: one lock/condition pair guards all state. Read callbacks run
 *without* the lock so they can call record operations re-entrantly. Public
-methods may be called from any thread except where documented.
+methods may be called from any thread except where documented. The lock
+pair is built through :mod:`repro.analysis.primitives`, so running with
+``REPRO_ANALYSIS=1`` turns on the concurrency sanitizer (lock-order
+tracking, "Lock held." contract assertions, lockset race detection over
+the fields annotated below) at zero cost to the default build.
 """
 
 from __future__ import annotations
@@ -34,6 +38,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.primitives import (
+    TrackedCondition,
+    TrackedLock,
+    make_held_checker,
+)
+from repro.analysis.races import guarded_by
 from repro.core.cache import EvictionPolicy, make_policy
 from repro.core.index import RecordIndex, normalize_key_values
 from repro.core.memory import (
@@ -74,6 +84,17 @@ class _WorkerStats:
         self.units_loaded = 0
 
 
+class _LoadYield(BaseException):
+    """Internal: unwinds a read callback whose partial load must be rolled
+    back and re-queued so another stalled load can finish.
+
+    A ``BaseException`` so application read callbacks that catch
+    ``Exception`` cannot swallow it; it never escapes :meth:`GBO._run_read`.
+    """
+
+
+@guarded_by("_units", "_memory", "_policy", "_queue", "_io_blocked",
+            "_abort_loads", "_closing", lock="_lock")
 class GBO:
     """The GODIVA database object.
 
@@ -139,8 +160,11 @@ class GBO:
         if io_workers < 1:
             raise ValueError("io_workers must be at least 1")
 
-        self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
+        self._lock = TrackedLock(f"GBO._lock@{id(self):#x}")
+        self._cond = TrackedCondition(self._lock)
+        self._check_locked = make_held_checker(
+            self._lock, "GBO internal helper"
+        )
         self._clock = clock
 
         self._field_types: dict = {}
@@ -161,6 +185,9 @@ class GBO:
         #: name of the unit the blocked worker is loading).
         self._io_blocked: Dict[threading.Thread, Tuple[int, Optional[str]]]
         self._io_blocked = {}
+        #: Names of in-flight loads told to roll back and re-queue so a
+        #: stalled, waited-on load can claim their partial memory charges.
+        self._abort_loads: set = set()
         self._load_ctx = threading.local()
 
         self._io_threads: List[threading.Thread] = []
@@ -279,6 +306,8 @@ class GBO:
             self._cond.notify_all()
 
     def _emit(self, event: str, unit_name: str) -> None:
+        """Fire the unit-event hook. Lock held."""
+        self._check_locked()
         if self._unit_event_hook is not None:
             self._unit_event_hook(event, unit_name, self._clock())
 
@@ -287,6 +316,7 @@ class GBO:
 
     def _charge_locked(self, nbytes: int) -> None:
         """Charge ``nbytes``, evicting/blocking as needed. Lock held."""
+        self._check_locked()
         if not self._memory.can_ever_fit(nbytes):
             raise MemoryBudgetError(
                 f"allocation of {nbytes} bytes exceeds the total budget of "
@@ -300,12 +330,15 @@ class GBO:
                 self._evict_locked(self._units[victim], deleting=False)
                 continue
             if on_io_thread:
+                loading = self._current_load_unit()
+                if loading is not None and loading in self._abort_loads:
+                    # A waiter needs this load's partial charges rolled
+                    # back; unwind to _run_read, which frees and re-queues.
+                    raise _LoadYield()
                 # Background prefetch outran the application; block until
                 # finish_unit/delete_unit frees memory (section 3.2: the
                 # I/O thread is "blocked for lack of memory space").
-                self._io_blocked[thread] = (
-                    nbytes, self._current_load_unit()
-                )
+                self._io_blocked[thread] = (nbytes, loading)
                 self._cond.notify_all()
                 t0 = self._clock()
                 self._cond.wait()
@@ -334,6 +367,8 @@ class GBO:
 
     def _release_locked(self, nbytes: int,
                         unit_name: Optional[str]) -> None:
+        """Return ``nbytes`` to the budget. Lock held."""
+        self._check_locked()
         self._memory.release(nbytes)
         self.stats.bytes_released += nbytes
         if unit_name is not None:
@@ -401,6 +436,8 @@ class GBO:
             return self._record_type_locked(name)
 
     def _record_type_locked(self, name: str) -> RecordType:
+        """Look up a record type. Lock held."""
+        self._check_locked()
         try:
             return self._record_types[name]
         except KeyError:
@@ -424,9 +461,63 @@ class GBO:
 
     def commit_record_type(self, name: str) -> None:
         """Conclude a record type definition; instances may now be made."""
-        with self._lock:
+        with self._cond:
             self._check_open()
             self._record_type_locked(name).commit()
+            self._cond.notify_all()
+
+    def ensure_record_type(
+        self,
+        name: str,
+        num_keys: int,
+        fields: Sequence[Tuple[str, bool]],
+    ) -> RecordType:
+        """Atomically look up, or define and commit, a record type.
+
+        ``fields`` is the full field set as ``(field_name, is_key)``
+        pairs over already-defined field types. The incremental
+        ``define_record``/``insert_field``/``commit_record_type``
+        sequence has a check-then-act window: two read callbacks
+        (re)declaring the same schema concurrently can both pass a
+        ``has_record_type`` guard and collide in ``define_record``.
+        This method performs the whole definition under one lock hold,
+        so racing callers all succeed and exactly one of them creates
+        the type. If the type already exists and is committed it is
+        returned as-is after checking that the field set matches; a
+        type mid-definition through the incremental interface on
+        another thread is waited for.
+        """
+        with self._cond:
+            self._check_open()
+            while True:
+                existing = self._record_types.get(name)
+                if existing is None:
+                    break
+                if existing.committed:
+                    declared = tuple(field_name for field_name, _ in fields)
+                    if (existing.num_keys != num_keys
+                            or existing.field_names != declared):
+                        raise SchemaError(
+                            f"record type {name!r} already defined with a "
+                            f"different field set ({existing.field_names} "
+                            f"vs {declared})"
+                        )
+                    return existing
+                self._cond.wait()
+                self._check_open()
+            record_type = RecordType(name, num_keys)
+            for field_name, is_key in fields:
+                try:
+                    field_type = self._field_types[field_name]
+                except KeyError:
+                    raise UnknownTypeError(
+                        f"field type {field_name!r} is not defined"
+                    ) from None
+                record_type.insert_field(field_type, is_key)
+            record_type.commit()
+            self._record_types[name] = record_type
+            self._cond.notify_all()
+            return record_type
 
     # ==================================================================
     # Record operations (instances)
@@ -678,6 +769,7 @@ class GBO:
 
     def _wait_until_resident_locked(self, unit: ProcessingUnit) -> None:
         """Multi-thread wait loop with deadlock detection. Lock held."""
+        self._check_locked()
         t0 = self._clock()
         try:
             while True:
@@ -729,33 +821,101 @@ class GBO:
         * the waited-on unit is still QUEUED while *every* worker is
           blocked on memory and none of their allocations can fit — no
           worker will ever come back to drain the queue.
+
+        Either way, before declaring deadlock it first tries to *break*
+        the stall, demand beating speculation:
+
+        1. completed prefetches nobody has consumed yet (RESIDENT,
+           unfinished, unreferenced) are emergency-evicted — they reload
+           transparently if waited on later;
+        2. other blocked workers holding partial charges are told to
+           roll back and re-queue (``_abort_loads``), freeing their
+           memory for the waited-on load.
+
+        Deadlock is reported only when neither can help — the remaining
+        memory is pinned by referenced or unfinished-but-held units,
+        which genuinely requires ``finish_unit``/``delete_unit``.
+
+        Lock held.
         """
+        self._check_locked()
         if not self._io_blocked or len(self._policy) != 0:
             return
+        if self._abort_loads:
+            return  # rollbacks already requested; let them land first
+        blocked_loading = {
+            loading for _nbytes, loading in self._io_blocked.values()
+            if loading is not None
+        }
+        if any(
+            u.state is UnitState.READING and u.name not in blocked_loading
+            for u in self._units.values()
+        ):
+            return  # a load is still actively progressing; reassess later
         if unit.state is UnitState.READING:
-            for nbytes, loading in self._io_blocked.values():
-                if loading == unit.name and not self._memory.fits(nbytes):
-                    raise GodivaDeadlockError(
-                        f"waiting for unit {unit.name!r} but the I/O "
-                        f"worker loading it is blocked on memory "
-                        f"({self._memory.used_bytes}/"
-                        f"{self._memory.budget_bytes} bytes used) and no "
-                        f"unit is evictable — the application must "
-                        f"finish_unit/delete_unit processed units"
-                    )
+            needed = next(
+                (nbytes for nbytes, loading in self._io_blocked.values()
+                 if loading == unit.name),
+                None,
+            )
+            if needed is None:
+                return
         elif unit.state is UnitState.QUEUED:
-            if len(self._io_blocked) == len(self._io_threads) and not any(
-                self._memory.fits(nbytes)
-                for nbytes, _ in self._io_blocked.values()
-            ):
-                raise GodivaDeadlockError(
-                    f"waiting for queued unit {unit.name!r} but all "
-                    f"{len(self._io_threads)} I/O worker(s) are blocked "
-                    f"on memory ({self._memory.used_bytes}/"
-                    f"{self._memory.budget_bytes} bytes used) and no "
-                    f"unit is evictable — the application must "
-                    f"finish_unit/delete_unit processed units"
-                )
+            # The admission gate idles every non-blocked worker while a
+            # peer is blocked, so one stuck worker is enough to starve
+            # the whole queue: the first blocked allocation to fit will
+            # resume the drain.
+            needed = min(
+                nbytes for nbytes, _loading in self._io_blocked.values()
+            )
+        else:
+            return
+        if self._memory.fits(needed):
+            return
+        # Completed prefetches nobody consumed: safe to drop, they
+        # re-queue on demand like any evicted unit.
+        idle_prefetched = [
+            u for u in self._units.values()
+            if u.state is UnitState.RESIDENT and not u.finished
+            and u.ref_count == 0 and u.name != unit.name
+        ]
+        # Partial charges of other blocked in-flight loads.
+        rollback = [
+            u for name in blocked_loading if name != unit.name
+            for u in (self._units.get(name),) if u is not None
+        ]
+        reclaimable = (
+            sum(u.resident_bytes for u in idle_prefetched)
+            + sum(u.resident_bytes for u in rollback)
+        )
+        if (self._memory.used_bytes - reclaimable + needed
+                <= self._memory.budget_bytes):
+            for victim in idle_prefetched:
+                if self._memory.fits(needed):
+                    break
+                self._evict_locked(victim, deleting=False)
+            if not self._memory.fits(needed):
+                self._abort_loads.update(u.name for u in rollback)
+                self.stats.load_yields += len(rollback)
+            self._cond.notify_all()
+            return
+        if unit.state is UnitState.READING:
+            raise GodivaDeadlockError(
+                f"waiting for unit {unit.name!r} but the I/O "
+                f"worker loading it is blocked on memory "
+                f"({self._memory.used_bytes}/"
+                f"{self._memory.budget_bytes} bytes used) and no "
+                f"unit is evictable — the application must "
+                f"finish_unit/delete_unit processed units"
+            )
+        raise GodivaDeadlockError(
+            f"waiting for queued unit {unit.name!r} but "
+            f"{len(self._io_blocked)} I/O worker(s) are blocked "
+            f"on memory ({self._memory.used_bytes}/"
+            f"{self._memory.budget_bytes} bytes used) and no "
+            f"unit is evictable — the application must "
+            f"finish_unit/delete_unit processed units"
+        )
 
     def finish_unit(self, name: str) -> None:
         """Declare processing of the unit complete; it becomes evictable
@@ -938,10 +1098,19 @@ class GBO:
     # Internals
     # ==================================================================
     def _io_loop(self, worker_index: int) -> None:
-        """I/O worker main loop: drain the priority prefetch queue."""
+        """I/O worker main loop: drain the priority prefetch queue.
+
+        Admission gate: no new load starts while a peer is blocked on
+        memory. Starting one anyway could only wedge further partial
+        charges into the full budget — and after a blocked peer's yield
+        (``_abort_loads``) it would re-grab the very bytes the rollback
+        freed for a waited-on load.
+        """
         while True:
             with self._cond:
-                while not self._closing and not self._queue:
+                while not self._closing and (
+                    not self._queue or self._io_blocked
+                ):
                     self._cond.wait()
                 if self._closing:
                     return
@@ -984,6 +1153,7 @@ class GBO:
         elapsed = self._clock() - t0
 
         with self._cond:
+            self._abort_loads.discard(name)
             unit = self._units.get(name)
             if unit is None:
                 return
@@ -997,6 +1167,21 @@ class GBO:
                     ws.read_seconds += elapsed
                     if error is None:
                         ws.units_loaded += 1
+            if isinstance(error, _LoadYield):
+                # Roll back the partial load and put the unit back in the
+                # queue: its charges go to a waited-on load, and it will
+                # be re-read once memory frees up.
+                self._free_unit_records_locked(unit)
+                if unit.pending_delete:
+                    self._evict_locked(unit, deleting=True)
+                    self.stats.units_deleted += 1
+                else:
+                    unit.state = UnitState.QUEUED
+                    unit.finished = False
+                    unit.enqueued_at = self._clock()
+                    self._queue.push(name, priority=unit.priority)
+                self._cond.notify_all()
+                return
             if error is not None:
                 self._free_unit_records_locked(unit)
                 unit.state = UnitState.FAILED
@@ -1021,7 +1206,11 @@ class GBO:
             self._cond.notify_all()
 
     def _free_unit_records_locked(self, unit: ProcessingUnit) -> None:
-        """Drop all of a unit's records and release their memory."""
+        """Drop all of a unit's records and release their memory.
+
+        Lock held.
+        """
+        self._check_locked()
         records = self._index.drop_unit(unit.name)
         freed = 0
         for record in records:
@@ -1032,7 +1221,11 @@ class GBO:
         unit.resident_bytes = 0
 
     def _evict_locked(self, unit: ProcessingUnit, deleting: bool) -> None:
-        """Whole-unit eviction: remove every record, release memory."""
+        """Whole-unit eviction: remove every record, release memory.
+
+        Lock held.
+        """
+        self._check_locked()
         self._free_unit_records_locked(unit)
         self._policy.remove(unit.name)
         unit.finished = False

@@ -40,13 +40,22 @@ def parse_mem(value) -> int:
     * ``int`` — a byte count;
     * ``float`` — megabytes (matching the paper's ``new GBO(400)``
       convention of the legacy ``mem_mb`` argument).
+
+    Negative amounts raise :class:`ValueError` in every spelling: a
+    budget below zero is always a caller bug, and catching it here
+    (rather than deep in the accountant) names the offending spec.
+    Zero parses fine — whether an empty budget is usable is the
+    :class:`MemoryAccountant`'s decision, not the parser's.
     """
     if isinstance(value, bool):
         raise TypeError("memory budget must be a number or string")
-    if isinstance(value, int):
-        return value
-    if isinstance(value, float):
-        return int(value * MB)
+    if isinstance(value, (int, float)):
+        nbytes = int(value) if isinstance(value, int) else int(value * MB)
+        if nbytes < 0:
+            raise ValueError(
+                f"memory spec must be non-negative, got {value!r}"
+            )
+        return nbytes
     if isinstance(value, str):
         text = value.strip().lower()
         for suffix, multiplier in _MEM_SUFFIXES.items():
@@ -55,18 +64,31 @@ def parse_mem(value) -> int:
             ):
                 number = text[: -len(suffix)].strip()
                 try:
-                    return int(float(number) * multiplier)
+                    nbytes = int(float(number) * multiplier)
                 except ValueError:
                     raise ValueError(
-                        f"unparseable memory spec {value!r}"
+                        f"unparseable memory spec {value!r} — the "
+                        f"amount before {suffix.upper()!r} must be a "
+                        f"number, e.g. '384MB' or '1.5GB'"
                     ) from None
+                if nbytes < 0:
+                    raise ValueError(
+                        f"memory spec must be non-negative, "
+                        f"got {value!r}"
+                    )
+                return nbytes
         try:
-            return int(text)
+            nbytes = int(text)
         except ValueError:
             raise ValueError(
                 f"unparseable memory spec {value!r} — expected e.g. "
                 f"'384MB', '1.5GB', or a byte count"
             ) from None
+        if nbytes < 0:
+            raise ValueError(
+                f"memory spec must be non-negative, got {value!r}"
+            )
+        return nbytes
     raise TypeError(
         f"memory budget must be a str, int, or float, "
         f"not {type(value).__name__}"

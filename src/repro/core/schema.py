@@ -58,15 +58,21 @@ class RecordSchema:
         return tuple(f.name for f in self.fields if f.is_key)
 
     def ensure(self, gbo: GBO) -> None:
-        """Define and commit this record type on ``gbo`` if not present."""
+        """Define and commit this record type on ``gbo`` if not present.
+
+        Safe to call concurrently from read callbacks on multiple I/O
+        workers: field definitions are idempotent, and the record type
+        goes through :meth:`GBO.ensure_record_type`, which resolves
+        same-name races atomically instead of tripping over
+        ``define_record``'s already-defined check.
+        """
         for f in self.fields:
             gbo.define_field(f.name, f.data_type, f.size)
-        if gbo.has_record_type(self.name):
-            return
-        gbo.define_record(self.name, self.num_keys)
-        for f in self.fields:
-            gbo.insert_field(self.name, f.name, f.is_key)
-        gbo.commit_record_type(self.name)
+        gbo.ensure_record_type(
+            self.name,
+            self.num_keys,
+            [(f.name, f.is_key) for f in self.fields],
+        )
 
 
 def fluid_sample_schema() -> RecordSchema:

@@ -37,6 +37,7 @@ class GodivaStats:
     units_cancelled: int = 0           # cancelled while still queued
     units_failed: int = 0
     evictions: int = 0
+    load_yields: int = 0   # partial loads rolled back for a waited-on unit
 
     # --- cache behaviour ---------------------------------------------
     wait_hits: int = 0     # wait_unit found the unit already resident

@@ -18,9 +18,10 @@ Usage::
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.primitives import TrackedLock
 
 #: Every event the GBO emits, in lifecycle order. ``boosted`` fires when
 #: ``wait_unit`` promotes a queued unit to the front of the prefetch
@@ -98,7 +99,7 @@ class UnitTracer:
     """Collects GBO unit events; callable, so it *is* the hook."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = TrackedLock(f"UnitTracer._lock@{id(self):#x}")
         self._timelines: Dict[str, UnitTimeline] = {}
         self._order: List[str] = []
 

@@ -75,3 +75,31 @@ class StorageFormatError(GodivaError):
 class ReadFunctionError(GodivaError):
     """A developer-supplied read callback raised; the original exception is
     attached as ``__cause__`` and the unit is marked failed."""
+
+
+class AnalysisError(GodivaError):
+    """Base class for findings raised by :mod:`repro.analysis` — the
+    concurrency sanitizer and invariant checkers. These indicate bugs in
+    the *library or its usage*, not in the analyzed workload's data."""
+
+
+class LockContractError(AnalysisError):
+    """A "Lock held." contract was violated at runtime: a ``*_locked``
+    helper ran without its lock, a condition was signalled unheld, or a
+    lock was released by a non-owner."""
+
+
+class LockOrderViolation(AnalysisError):
+    """The lock-order graph contains a cycle — two threads can acquire
+    the same locks in opposite orders and deadlock. The message carries
+    both acquisition stacks of every edge in the cycle."""
+
+
+class DataRaceError(AnalysisError):
+    """The lockset race detector found a shared field reachable with an
+    empty candidate lockset — no single lock consistently guards it."""
+
+
+class InvariantViolation(AnalysisError):
+    """A structural invariant of the GBO buffer database does not hold
+    (memory accounting, queue/state coherence, refcounts)."""

@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import io
 import os
-import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
+
+from repro.analysis.primitives import TrackedLock
+from repro.analysis.races import guarded_by
 
 
 @dataclass(frozen=True)
@@ -100,6 +102,8 @@ NULL_DISK = DiskProfile(
 )
 
 
+@guarded_by("bytes_read", "read_calls", "seeks", "settles", "opens",
+            "virtual_seconds", "per_file_bytes", lock="_lock")
 class IoStats:
     """Thread-safe I/O counters shared across reader threads.
 
@@ -110,7 +114,7 @@ class IoStats:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = TrackedLock(f"IoStats._lock@{id(self):#x}")
         self.bytes_read = 0
         self.read_calls = 0
         self.seeks = 0      # full repositioning (backward or far jump)
@@ -154,31 +158,36 @@ class IoStats:
             }
 
     def merge(self, other: "IoStats") -> None:
-        """Fold another IoStats' counters into this one.
+        """Fold another IoStats' counters into this one, atomically.
 
         Lets a reader meter one read call in a private instance (e.g. to
         learn that call's virtual cost) and then contribute the traffic to
         the application-wide aggregate.
+
+        Both stats objects are locked for the whole merge (so a
+        concurrent ``record_read`` on ``other`` cannot slip between the
+        read and the add), and the two locks are always acquired in a
+        globally consistent order — by object id — so two threads
+        cross-merging (``a.merge(b)`` racing ``b.merge(a)``) cannot
+        deadlock. Merging an instance into itself is a no-op.
         """
-        with other._lock:
-            bytes_read = other.bytes_read
-            read_calls = other.read_calls
-            seeks = other.seeks
-            settles = other.settles
-            opens = other.opens
-            virtual_seconds = other.virtual_seconds
-            per_file = dict(other.per_file_bytes)
-        with self._lock:
-            self.bytes_read += bytes_read
-            self.read_calls += read_calls
-            self.seeks += seeks
-            self.settles += settles
-            self.opens += opens
-            self.virtual_seconds += virtual_seconds
-            for path, nbytes in per_file.items():
-                self.per_file_bytes[path] = (
-                    self.per_file_bytes.get(path, 0) + nbytes
-                )
+        if other is self:
+            return
+        first, second = (
+            (self, other) if id(self) < id(other) else (other, self)
+        )
+        with first._lock:
+            with second._lock:
+                self.bytes_read += other.bytes_read
+                self.read_calls += other.read_calls
+                self.seeks += other.seeks
+                self.settles += other.settles
+                self.opens += other.opens
+                self.virtual_seconds += other.virtual_seconds
+                for path, nbytes in other.per_file_bytes.items():
+                    self.per_file_bytes[path] = (
+                        self.per_file_bytes.get(path, 0) + nbytes
+                    )
 
     def reset(self) -> None:
         with self._lock:
@@ -205,6 +214,7 @@ class CostedFile:
                  profile: DiskProfile = NULL_DISK):
         self._path = os.fspath(path)
         self._file = open(self._path, "rb")
+        self._closed = False
         self._stats = stats
         self._profile = profile
         self._last_end: Optional[int] = None  # offset after previous read
@@ -238,7 +248,18 @@ class CostedFile:
     def size(self) -> int:
         return os.fstat(self._file.fileno()).st_size
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Close the underlying file. Idempotent: a second ``close()``
+        (or leaving a ``with`` block after an explicit close) is a
+        no-op, so ownership hand-offs between the read callback and the
+        context manager cannot double-fault."""
+        if self._closed:
+            return
+        self._closed = True
         self._file.close()
 
     def __enter__(self) -> "CostedFile":

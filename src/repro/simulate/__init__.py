@@ -27,6 +27,9 @@ from repro.simulate.resources import (
     DiskFifo,
     ProcessorPool,
     Semaphore,
+    SimCondition,
+    SimLatch,
+    SimSemaphore,
 )
 from repro.simulate.runner import SimRunResult, simulate_voyager
 from repro.simulate.workload import TestWorkload, trace_workload
@@ -36,6 +39,9 @@ __all__ = [
     "Process",
     "ProcessorPool",
     "DiskFifo",
+    "SimLatch",
+    "SimCondition",
+    "SimSemaphore",
     "Condition",
     "Semaphore",
     "Machine",

@@ -21,10 +21,10 @@ from typing import List
 from repro.simulate.engine import Simulator
 from repro.simulate.machine import Machine
 from repro.simulate.resources import (
-    Condition,
     DiskFifo,
     ProcessorPool,
-    Semaphore,
+    SimLatch,
+    SimSemaphore,
 )
 from repro.simulate.workload import TestWorkload
 
@@ -129,8 +129,8 @@ def simulate_cluster_voyager(
 
             sim.spawn(worker_proc())
         else:
-            window = Semaphore(sim, window_units)
-            loaded = [Condition(sim) for _ in range(n_units)]
+            window = SimSemaphore(sim, window_units)
+            loaded = [SimLatch(sim) for _ in range(n_units)]
 
             def io_proc(cpu=cpu, disk=disk, window=window,
                         loaded=loaded, n_units=n_units):

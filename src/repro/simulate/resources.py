@@ -169,7 +169,7 @@ class DiskFifo:
 
 
 class _CondWait:
-    def __init__(self, cond: "Condition"):
+    def __init__(self, cond: "SimLatch"):
         self._cond = cond
 
     def start(self, sim: Simulator, resume: Callable) -> None:
@@ -179,8 +179,14 @@ class _CondWait:
             self._cond._waiters.append(resume)
 
 
-class Condition:
-    """A one-way latch: processes wait until it is set."""
+class SimLatch:
+    """A one-way latch: processes wait until it is set.
+
+    Virtual-time analogue of a condition/event for simulated processes —
+    named ``Sim*`` (with a ``SimCondition`` alias) so it can never be
+    mistaken for a ``threading.Condition``: the repro-lint concurrency
+    rules (REP101/REP102) apply to real locks only.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
@@ -200,7 +206,7 @@ class Condition:
 
 
 class _SemAcquire:
-    def __init__(self, sem: "Semaphore"):
+    def __init__(self, sem: "SimSemaphore"):
         self._sem = sem
 
     def start(self, sim: Simulator, resume: Callable) -> None:
@@ -211,8 +217,9 @@ class _SemAcquire:
             self._sem._waiters.append(resume)
 
 
-class Semaphore:
-    """Counting semaphore (e.g. the memory window in units)."""
+class SimSemaphore:
+    """Counting semaphore in virtual time (e.g. the memory window in
+    units); no real thread ever blocks on it."""
 
     def __init__(self, sim: Simulator, count: int):
         if count < 0:
@@ -234,3 +241,11 @@ class Semaphore:
     @property
     def available(self) -> int:
         return self._count
+
+
+#: Back-compat spellings from before the concurrency sanitizer landed;
+#: prefer the ``Sim*`` names so real and simulated primitives cannot be
+#: confused at a call site.
+SimCondition = SimLatch
+Condition = SimLatch
+Semaphore = SimSemaphore

@@ -29,7 +29,7 @@ from typing import List
 
 from repro.simulate.engine import Simulator
 from repro.simulate.machine import Machine
-from repro.simulate.resources import Condition, Semaphore
+from repro.simulate.resources import SimLatch, SimSemaphore
 from repro.simulate.workload import TestWorkload
 
 
@@ -150,8 +150,8 @@ def simulate_voyager(
         files = files_per_snapshot
         # The window is counted in file units so the resident-snapshot
         # bound stays window_units regardless of the file split.
-        window = Semaphore(sim, window_units * files)
-        loaded = [[Condition(sim) for _f in range(files)]
+        window = SimSemaphore(sim, window_units * files)
+        loaded = [[SimLatch(sim) for _f in range(files)]
                   for _i in range(n)]
         # Shared task cursor: workers claim (snapshot, file) chunks in
         # queue order. Claiming involves no yield, so it is atomic under

@@ -1,4 +1,14 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the races plugin.
+
+The ``races`` marker turns the existing ``test_database_*`` suites into
+lockset-race tests: with ``REPRO_ANALYSIS=1`` (see
+:mod:`repro.analysis`), every GBO built by a test uses tracked locks,
+the ``@guarded_by`` descriptors are installed for the duration of each
+test, and the Eraser tracker plus the lock-order graph are checked
+after it. With analysis disabled (the default) the plugin is inert and
+the suites run exactly as before. CI runs
+``REPRO_ANALYSIS=1 pytest -m races`` as a separate job.
+"""
 
 import pytest
 
@@ -6,6 +16,50 @@ from repro.core.database import GBO
 from repro.core.schema import fluid_sample_schema
 from repro.gen.snapshot import SnapshotSpec, generate_dataset
 from repro.gen.titan import TitanConfig
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "races: database suites doubling as concurrency-sanitizer "
+        "tests (meaningful under REPRO_ANALYSIS=1)",
+    )
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        filename = item.nodeid.split("::", 1)[0].rsplit("/", 1)[-1]
+        if filename.startswith("test_database_"):
+            item.add_marker(pytest.mark.races)
+
+
+@pytest.fixture(autouse=True)
+def _concurrency_sanitizer(request):
+    """Install guarded-field tracking and settle sanitizer verdicts.
+
+    No-op unless analysis is enabled, so the default test run pays one
+    boolean check per test and nothing else.
+    """
+    from repro.analysis import primitives
+
+    if not primitives.analysis_enabled():
+        yield
+        return
+    from repro.analysis import races as analysis_races
+    from repro.analysis.lockorder import GLOBAL_GRAPH
+
+    installed = analysis_races.install()
+    analysis_races.TRACKER.reset()
+    GLOBAL_GRAPH.reset()
+    try:
+        yield
+        if request.node.get_closest_marker("races") is not None:
+            analysis_races.TRACKER.check()
+            GLOBAL_GRAPH.check()
+    finally:
+        analysis_races.uninstall(*installed)
+        analysis_races.TRACKER.reset()
+        GLOBAL_GRAPH.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,266 @@
+"""repro-lint: each rule on synthetic sources, baseline mechanics, and
+the repo-cleanliness gate CI enforces."""
+
+import os
+
+import pytest
+
+from repro.analysis import lint
+from repro.core.compat import PAPER_ALIASES
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC = '"""Module docstring."""\n'
+
+
+def rules(source, path="src/repro/somewhere.py"):
+    return [v.rule for v in lint.lint_source(source, path)]
+
+
+class TestRep101BareThreadingPrimitives:
+    def test_threading_attribute_call_flagged(self):
+        src = DOC + "import threading\nLOCK = threading.Lock()\n"
+        assert rules(src) == ["REP101"]
+
+    def test_imported_name_call_flagged(self):
+        src = DOC + (
+            "from threading import Condition\n"
+            "COND = Condition()\n"
+        )
+        assert rules(src) == ["REP101"]
+
+    def test_aliased_import_flagged(self):
+        src = DOC + (
+            "from threading import Lock as Mutex\n"
+            "LOCK = Mutex()\n"
+        )
+        assert rules(src) == ["REP101"]
+
+    def test_all_primitive_kinds_flagged(self):
+        src = DOC + "import threading\n" + "\n".join(
+            f"V{i} = threading.{kind}()" for i, kind in enumerate(
+                ("Lock", "RLock", "Condition", "Semaphore")
+            )
+        ) + "\n"
+        assert rules(src) == ["REP101"] * 4
+
+    def test_analysis_package_is_exempt(self):
+        src = DOC + "import threading\nLOCK = threading.Lock()\n"
+        assert rules(src, "src/repro/analysis/primitives.py") == []
+
+    def test_tracked_factories_are_clean(self):
+        src = DOC + (
+            "from repro.analysis.primitives import TrackedLock\n"
+            "LOCK = TrackedLock()\n"
+        )
+        assert rules(src) == []
+
+
+class TestRep102WaitOutsideWhile:
+    def test_bare_wait_flagged(self):
+        src = DOC + "def _f(cond):\n    cond.wait()\n"
+        assert rules(src) == ["REP102"]
+
+    def test_attribute_receiver_flagged(self):
+        src = DOC + (
+            "class _C:\n"
+            "    def _g(self):\n"
+            "        self._cond.wait(1.0)\n"
+        )
+        assert rules(src) == ["REP102"]
+
+    def test_wait_inside_while_is_clean(self):
+        src = DOC + (
+            "def _f(cond, ready):\n"
+            "    while not ready():\n"
+            "        cond.wait()\n"
+        )
+        assert rules(src) == []
+
+    def test_nested_def_does_not_inherit_while(self):
+        src = DOC + (
+            "def _f(cond):\n"
+            "    while True:\n"
+            "        def _g():\n"
+            "            cond.wait()\n"
+        )
+        assert rules(src) == ["REP102"]
+
+    def test_non_condition_receiver_ignored(self):
+        src = DOC + "def _f(queue):\n    queue.wait()\n"
+        assert rules(src) == []
+
+
+class TestRep103PaperAliases:
+    def test_camelcase_definition_flagged(self):
+        src = DOC + "def addUnit() -> None:\n    pass\n"
+        assert rules(src) == ["REP103"]
+
+    def test_alias_call_flagged(self):
+        src = DOC + "def _f(gbo):\n    gbo.waitUnit('u')\n"
+        assert rules(src) == ["REP103"]
+
+    def test_compat_module_is_exempt(self):
+        src = DOC + (
+            "def addUnit() -> None:\n"
+            "    pass\n"
+            "def _f(gbo):\n"
+            "    gbo.waitUnit('u')\n"
+        )
+        assert rules(src, "src/repro/core/compat.py") == []
+
+    def test_snake_case_is_clean(self):
+        src = DOC + "def _f(gbo):\n    gbo.wait_unit('u')\n"
+        assert rules(src) == []
+
+    def test_alias_table_matches_compat_shim(self):
+        # The linter never imports the library it lints, so its copy of
+        # the camelCase spellings must be kept in sync by this test.
+        assert lint.PAPER_ALIAS_NAMES == frozenset(PAPER_ALIASES)
+
+
+class TestRep104MutableDefaults:
+    @pytest.mark.parametrize("default", ["[]", "{}", "dict()", "set()",
+                                         "[x for x in ()]"])
+    def test_mutable_default_flagged(self, default):
+        src = DOC + f"def _f(arg={default}):\n    return arg\n"
+        assert rules(src) == ["REP104"]
+
+    def test_keyword_only_default_flagged(self):
+        src = DOC + "def _f(*, arg=[]):\n    return arg\n"
+        assert rules(src) == ["REP104"]
+
+    def test_none_default_is_clean(self):
+        src = DOC + "def _f(arg=None):\n    return arg\n"
+        assert rules(src) == []
+
+
+class TestRep105Docstrings:
+    def test_missing_module_docstring(self):
+        assert rules("X = 1\n") == ["REP105"]
+
+    def test_public_class_needs_docstring(self):
+        src = DOC + "class Widget:\n    pass\n"
+        assert rules(src) == ["REP105"]
+
+    def test_public_function_needs_docstring(self):
+        src = DOC + "def run(x: int) -> int:\n    return x + 1\n"
+        assert rules(src) == ["REP105"]
+
+    def test_private_and_trivial_defs_exempt(self):
+        src = DOC + (
+            "def _helper(x):\n"
+            "    return x\n"
+            "def stub() -> None:\n"
+            "    ...\n"
+        )
+        assert rules(src) == []
+
+
+class TestRep106Annotations:
+    def test_missing_parameter_annotation_reported_by_name(self):
+        src = DOC + (
+            "def run(count) -> int:\n"
+            '    """Doc."""\n'
+            "    return count\n"
+        )
+        violations = lint.lint_source(src, "src/repro/x.py")
+        assert [v.rule for v in violations] == ["REP106"]
+        assert "count" in violations[0].message
+
+    def test_missing_return_annotation_reported(self):
+        src = DOC + (
+            "def run(count: int):\n"
+            '    """Doc."""\n'
+            "    return count\n"
+        )
+        violations = lint.lint_source(src, "src/repro/x.py")
+        assert [v.rule for v in violations] == ["REP106"]
+        assert "return" in violations[0].message
+
+    def test_self_and_properties_exempt(self):
+        src = DOC + (
+            "class Widget:\n"
+            '    """Doc."""\n'
+            "    def size(self, n: int) -> int:\n"
+            '        """Doc."""\n'
+            "        return n\n"
+            "    @property\n"
+            "    def name(self):\n"
+            '        """Doc."""\n'
+            "        return 'w'\n"
+        )
+        assert rules(src) == []
+
+
+class TestBaseline:
+    def test_violation_key_is_line_number_free(self):
+        src = DOC + "def run(count) -> int:\n    '''D.'''\n    return 1\n"
+        (violation,) = lint.lint_source(src, "src/repro/x.py")
+        assert violation.key == "REP106:src/repro/x.py:run"
+        shifted = DOC + "\n\n" + src[len(DOC):]
+        (moved,) = lint.lint_source(shifted, "src/repro/x.py")
+        assert moved.key == violation.key
+        assert moved.line != violation.line
+
+    def test_round_trip(self, tmp_path):
+        src = DOC + "import threading\nLOCK = threading.Lock()\n"
+        violations = lint.lint_source(src, "src/repro/x.py")
+        baseline_path = str(tmp_path / "baseline.json")
+        lint.write_baseline(baseline_path, violations)
+        assert lint.load_baseline(baseline_path) == {
+            v.key for v in violations
+        }
+
+    def test_load_missing_baseline_is_empty(self, tmp_path):
+        assert lint.load_baseline(str(tmp_path / "nope.json")) == set()
+
+    def test_main_fails_on_new_then_passes_after_update(
+        self, tmp_path, capsys
+    ):
+        module = tmp_path / "mod.py"
+        module.write_text(DOC + "import threading\n"
+                          "LOCK = threading.Lock()\n")
+        baseline = str(tmp_path / "baseline.json")
+        argv = [str(module), "--baseline", baseline]
+        assert lint.main(argv) == 1
+        assert "REP101" in capsys.readouterr().out
+        assert lint.main(argv + ["--update-baseline"]) == 0
+        assert lint.main(argv) == 0
+        # A new violation alongside the baselined one still fails.
+        module.write_text(module.read_text()
+                          + "def _f(x=[]):\n    return x\n")
+        assert lint.main(argv) == 1
+        out = capsys.readouterr().out
+        assert "REP104" in out and "1 baselined" in out
+
+    def test_no_baseline_flag_reports_everything(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(DOC + "import threading\n"
+                          "LOCK = threading.Lock()\n")
+        baseline = str(tmp_path / "baseline.json")
+        argv = [str(module), "--baseline", baseline]
+        assert lint.main(argv + ["--update-baseline"]) == 0
+        assert lint.main(argv + ["--no-baseline"]) == 1
+
+
+class TestFileDiscovery:
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text(DOC)
+        (tmp_path / "pkg" / "a.py").write_text(DOC)
+        (tmp_path / "pkg" / "notes.txt").write_text("x")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython.py").write_text("")
+        found = [os.path.basename(p)
+                 for p in lint.iter_python_files([str(tmp_path)])]
+        assert found == ["a.py", "b.py"]
+
+
+class TestRepoCleanliness:
+    def test_src_repro_is_clean_with_committed_baseline(
+        self, monkeypatch
+    ):
+        """The same gate CI runs: zero new violations over src/repro."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint.main([]) == 0

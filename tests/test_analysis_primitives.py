@@ -1,0 +1,213 @@
+"""Unit tests for the instrumented concurrency primitives.
+
+Two contracts matter: with analysis *disabled* the factories must hand
+back the plain ``threading`` objects (the zero-cost promise the W1
+benchmark relies on), and with analysis *enabled* the tracked flavours
+must keep honest per-thread held-lock bookkeeping and enforce the
+lock/condition usage contracts.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+import repro
+from repro.analysis import primitives
+from repro.analysis.lockorder import GLOBAL_GRAPH
+from repro.errors import LockContractError
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+_PLAIN_LOCK_TYPE = type(threading.Lock())
+
+
+@pytest.fixture
+def analysis_on():
+    """Instrumentation on for the test body; prior state restored."""
+    was_enabled = primitives.analysis_enabled()
+    primitives.enable()
+    try:
+        yield
+    finally:
+        if not was_enabled:
+            primitives.disable()
+        GLOBAL_GRAPH.reset()
+
+
+@pytest.fixture
+def analysis_off():
+    """Instrumentation off for the test body; prior state restored."""
+    was_enabled = primitives.analysis_enabled()
+    primitives.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            primitives.enable()
+
+
+class TestDisabledFactories:
+    def test_tracked_lock_is_plain_lock(self, analysis_off):
+        lock = primitives.TrackedLock("unused-name")
+        assert isinstance(lock, _PLAIN_LOCK_TYPE)
+
+    def test_tracked_condition_is_plain_condition(self, analysis_off):
+        lock = primitives.TrackedLock()
+        cond = primitives.TrackedCondition(lock)
+        assert isinstance(cond, threading.Condition)
+        assert isinstance(primitives.TrackedCondition(),
+                          threading.Condition)
+
+    def test_assert_lock_held_is_noop_for_plain_locks(self, analysis_off):
+        lock = primitives.TrackedLock()
+        primitives.assert_lock_held(lock, "anything")  # never raises
+
+    def test_make_held_checker_returns_shared_noop(self, analysis_off):
+        lock = primitives.TrackedLock()
+        checker = primitives.make_held_checker(lock, "anything")
+        assert checker is primitives._noop
+        assert checker() is None
+
+
+class TestTrackedLock:
+    def test_enabled_factory_returns_tracked_objects(self, analysis_on):
+        lock = primitives.TrackedLock("my-lock")
+        assert isinstance(lock, primitives._TrackedLock)
+        assert lock.name == "my-lock"
+        cond = primitives.TrackedCondition(lock)
+        assert isinstance(cond, primitives._TrackedCondition)
+        assert cond.name == "my-lock.cond"
+
+    def test_held_bookkeeping(self, analysis_on):
+        lock = primitives.TrackedLock("held-test")
+        assert not lock.held_by_current_thread()
+        with lock:
+            assert lock.held_by_current_thread()
+            assert lock.locked()
+        assert not lock.held_by_current_thread()
+        assert not lock.locked()
+
+    def test_lockset_is_outermost_first(self, analysis_on):
+        outer = primitives.TrackedLock("outer")
+        inner = primitives.TrackedLock("inner")
+        assert primitives.current_lockset() == ()
+        with outer:
+            with inner:
+                assert primitives.current_lockset() == (outer, inner)
+            assert primitives.current_lockset() == (outer,)
+        assert primitives.current_lockset() == ()
+
+    def test_lockset_is_per_thread(self, analysis_on):
+        lock = primitives.TrackedLock("mine")
+        seen = []
+
+        def observer():
+            seen.append(primitives.current_lockset())
+
+        with lock:
+            thread = threading.Thread(target=observer)
+            thread.start()
+            thread.join()
+        assert seen == [()]
+
+    def test_release_unheld_raises(self, analysis_on):
+        lock = primitives.TrackedLock("never-held")
+        with pytest.raises(LockContractError, match="never-held"):
+            lock.release()
+
+    def test_release_from_wrong_thread_raises(self, analysis_on):
+        lock = primitives.TrackedLock("other-thread")
+        lock.acquire()
+        errors = []
+
+        def releaser():
+            try:
+                lock.release()
+            except LockContractError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=releaser)
+        thread.start()
+        thread.join()
+        lock.release()
+        assert len(errors) == 1
+
+    def test_assert_lock_held(self, analysis_on):
+        lock = primitives.TrackedLock("contract")
+        with pytest.raises(LockContractError, match="Lock held"):
+            primitives.assert_lock_held(lock, "settling a unit")
+        with lock:
+            primitives.assert_lock_held(lock, "settling a unit")
+
+    def test_make_held_checker_enforces(self, analysis_on):
+        lock = primitives.TrackedLock("checker")
+        checker = primitives.make_held_checker(lock, "the hot path")
+        with pytest.raises(LockContractError, match="the hot path"):
+            checker()
+        with lock:
+            checker()
+
+
+class TestTrackedCondition:
+    def test_notify_without_lock_raises(self, analysis_on):
+        cond = primitives.TrackedCondition(primitives.TrackedLock("c1"))
+        with pytest.raises(LockContractError, match="notify"):
+            cond.notify()
+        with pytest.raises(LockContractError, match="notify_all"):
+            cond.notify_all()
+
+    def test_wait_without_lock_raises(self, analysis_on):
+        cond = primitives.TrackedCondition(primitives.TrackedLock("c2"))
+        with pytest.raises(LockContractError, match="wait"):
+            cond.wait(0.01)
+
+    def test_wait_keeps_bookkeeping_across_release_reacquire(
+        self, analysis_on
+    ):
+        lock = primitives.TrackedLock("c3")
+        cond = primitives.TrackedCondition(lock)
+        ready = []
+
+        def producer():
+            with cond:
+                ready.append(1)
+                cond.notify_all()
+
+        thread = threading.Thread(target=producer)
+        with cond:
+            assert lock.held_by_current_thread()
+            thread.start()
+            assert cond.wait_for(lambda: ready, timeout=5.0)
+            # wait() released and reacquired; the ledger must agree.
+            assert lock.held_by_current_thread()
+        thread.join()
+        assert not lock.held_by_current_thread()
+
+    def test_wait_for_timeout_returns_predicate_value(self, analysis_on):
+        cond = primitives.TrackedCondition(primitives.TrackedLock("c4"))
+        with cond:
+            assert cond.wait_for(lambda: False, timeout=0.05) is False
+
+
+class TestEnvironmentFlag:
+    @pytest.mark.parametrize("flag,expected", [
+        ("1", "_TrackedLock"),
+        ("0", _PLAIN_LOCK_TYPE.__name__),
+        ("", _PLAIN_LOCK_TYPE.__name__),
+    ])
+    def test_env_flag_selects_factory_flavour(self, flag, expected):
+        code = (
+            "from repro.analysis import primitives; "
+            "print(type(primitives.TrackedLock()).__name__)"
+        )
+        env = dict(os.environ)
+        env[primitives.ENV_FLAG] = flag
+        env["PYTHONPATH"] = SRC_DIR
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        assert result.stdout.strip() == expected

@@ -1,0 +1,195 @@
+"""Eraser-style lockset race detector, including the acceptance self-test.
+
+The self-test mirrors the GBO's memory-accounting pattern on a
+miniature class: with the lock held on every access the detector stays
+silent; with the lock deliberately removed from one access path it must
+report the race — even though the unlucky interleaving never actually
+corrupts anything in-process.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import primitives, races
+from repro.analysis.lockorder import GLOBAL_GRAPH
+from repro.errors import DataRaceError
+
+
+@races.guarded_by("used", lock="_lock")
+class _Accountant:
+    """Miniature shared counter mirroring GBO memory accounting."""
+
+    def __init__(self):
+        self._lock = primitives.TrackedLock("acct._lock")
+        self.used = 0
+
+    def charge(self, nbytes):
+        with self._lock:
+            self.used = self.used + nbytes
+
+    def charge_unlocked(self, nbytes):
+        # Deliberately missing `with self._lock:` — the acceptance
+        # self-test calls this from a second thread to prove the
+        # detector reports the empty candidate lockset.
+        self.used = self.used + nbytes
+
+
+@pytest.fixture
+def tracker():
+    """Enabled analysis with guards installed on the test class only."""
+    was_enabled = primitives.analysis_enabled()
+    primitives.enable()
+    races.TRACKER.reset()
+    races.install(_Accountant)
+    try:
+        yield races.TRACKER
+    finally:
+        races.uninstall(_Accountant)
+        races.TRACKER.reset()
+        GLOBAL_GRAPH.reset()
+        if not was_enabled:
+            primitives.disable()
+
+
+def in_thread(fn, *args):
+    thread = threading.Thread(target=fn, args=args)
+    thread.start()
+    thread.join()
+
+
+class TestGuardedByMetadata:
+    def test_decorator_records_field_to_lock_mapping(self):
+        assert _Accountant.__guarded_fields__ == {"used": "_lock"}
+
+    def test_stacked_decorators_merge(self):
+        @races.guarded_by("alpha", lock="_lock")
+        @races.guarded_by("beta", lock="_other")
+        class Doubled:
+            pass
+
+        assert Doubled.__guarded_fields__ == {
+            "alpha": "_lock", "beta": "_other",
+        }
+
+    def test_decorator_is_metadata_only(self):
+        # Until install(), the attribute is an ordinary instance slot.
+        # (Under REPRO_ANALYSIS=1 the pytest plugin has installed the
+        # descriptors already; undo that first, restore afterwards.)
+        races.uninstall(_Accountant)
+        try:
+            assert not isinstance(
+                _Accountant.__dict__.get("used"), races._GuardedField
+            )
+        finally:
+            if primitives.analysis_enabled():
+                races.install(_Accountant)
+
+
+class TestLocksetDetector:
+    def test_consistently_locked_access_is_clean(self, tracker):
+        acct = _Accountant()
+        acct.charge(10)
+        in_thread(acct.charge, 20)
+        in_thread(acct.charge, 30)
+        acct.charge(40)
+        # Read under the lock too: an unlocked read after other
+        # threads wrote would itself be the race the tracker flags.
+        with acct._lock:
+            assert acct.used == 100
+        assert tracker.reports() == []
+        tracker.check()  # must not raise
+
+    def test_removed_lock_is_reported(self, tracker):
+        """The acceptance self-test: drop the lock, get a report."""
+        acct = _Accountant()
+        acct.charge(10)
+        acct.charge(20)
+        in_thread(acct.charge_unlocked, 5)
+        reports = tracker.reports()
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.field == "used"
+        assert report.access == "write"
+        description = report.describe()
+        assert "data race on _Accountant.used" in description
+        assert "empty" in description and "lockset" in description
+        with pytest.raises(DataRaceError, match="lockset race"):
+            tracker.check()
+
+    def test_locked_then_unlocked_second_thread_reported(self, tracker):
+        # The second thread starts the shared phase *with* the lock;
+        # a later unlocked write empties the candidate set.
+        acct = _Accountant()
+        acct.charge(1)
+        in_thread(acct.charge, 2)
+        assert tracker.reports() == []
+        in_thread(acct.charge_unlocked, 3)
+        assert len(tracker.reports()) == 1
+
+    def test_first_thread_unlocked_init_tolerated(self, tracker):
+        # __init__ writes without the lock (normal pre-publication
+        # pattern); only the first thread did, so no report — and the
+        # candidate set starts from the *second* thread's lockset.
+        acct = _Accountant()
+        acct.charge_unlocked(10)
+        acct.charge_unlocked(20)
+        in_thread(acct.charge, 30)
+        acct.charge(40)
+        assert tracker.reports() == []
+        tracker.check()
+
+    def test_each_field_reported_once(self, tracker):
+        acct = _Accountant()
+        acct.charge(1)
+        in_thread(acct.charge_unlocked, 1)
+        in_thread(acct.charge_unlocked, 1)
+        in_thread(acct.charge_unlocked, 1)
+        assert len(tracker.reports()) == 1
+
+    def test_distinct_instances_tracked_separately(self, tracker):
+        clean = _Accountant()
+        racy = _Accountant()
+        clean.charge(1)
+        racy.charge(1)
+        in_thread(clean.charge, 2)
+        in_thread(racy.charge_unlocked, 2)
+        assert len(tracker.reports()) == 1
+
+    def test_reset_clears_findings(self, tracker):
+        acct = _Accountant()
+        acct.charge(1)
+        in_thread(acct.charge_unlocked, 1)
+        assert tracker.reports()
+        tracker.reset()
+        assert tracker.reports() == []
+        tracker.check()
+
+
+class TestInstallUninstall:
+    def test_install_swaps_descriptor_and_uninstall_restores(
+        self, tracker
+    ):
+        assert isinstance(
+            _Accountant.__dict__["used"], races._GuardedField
+        )
+        acct = _Accountant()
+        acct.charge(5)
+        assert acct.used == 5
+        races.uninstall(_Accountant)
+        # Values live in the instance __dict__, so removal is
+        # transparent to live objects.
+        assert "used" not in _Accountant.__dict__
+        assert acct.used == 5
+        acct.charge(2)
+        assert acct.used == 7
+        races.install(_Accountant)
+        assert isinstance(
+            _Accountant.__dict__["used"], races._GuardedField
+        )
+
+    def test_uninstall_without_install_is_safe(self):
+        class Bare:
+            __guarded_fields__ = {"x": "_lock"}
+
+        races.uninstall(Bare)  # nothing installed: no-op, no raise

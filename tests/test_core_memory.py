@@ -83,3 +83,54 @@ def test_set_budget_invalid():
     acct = MemoryAccountant(1000)
     with pytest.raises(MemoryBudgetError):
         acct.set_budget(0)
+
+
+class TestParseMemEdgeCases:
+    """Edge-case coverage for the budget-spec parser.
+
+    The happy paths live in test_database_workers; these pin the
+    corners: fractional units, zero, negatives in every spelling, and
+    garbage with a helpful message.
+    """
+
+    def test_fractional_unit(self):
+        from repro.core.memory import parse_mem
+        assert parse_mem("1.5GB") == int(1.5 * 1024 * MB)
+        assert parse_mem("0.5MB") == MB // 2
+        assert parse_mem(0.5) == MB // 2   # float = MB
+
+    def test_zero_parses_everywhere(self):
+        from repro.core.memory import parse_mem
+        assert parse_mem("0MB") == 0
+        assert parse_mem("0") == 0
+        assert parse_mem(0) == 0
+        assert parse_mem(0.0) == 0
+
+    def test_whitespace_and_case_insensitive(self):
+        from repro.core.memory import parse_mem
+        assert parse_mem("  384mb ") == 384 * MB
+        assert parse_mem("1 GB") == 1024 * MB
+
+    @pytest.mark.parametrize(
+        "spec", ["-1MB", "-5", -1, -0.5, "-0.1GB"]
+    )
+    def test_negative_rejected_in_every_spelling(self, spec):
+        from repro.core.memory import parse_mem
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_mem(spec)
+
+    def test_garbage_rejected_with_helpful_message(self):
+        from repro.core.memory import parse_mem
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_mem("lots")
+        # The suffix was recognised, the amount was not: the message
+        # must show a working example.
+        with pytest.raises(ValueError, match="384MB"):
+            parse_mem("twelveMB")
+
+    def test_non_numeric_types_rejected(self):
+        from repro.core.memory import parse_mem
+        with pytest.raises(TypeError):
+            parse_mem(None)
+        with pytest.raises(TypeError):
+            parse_mem(True)   # bool is not a byte count

@@ -59,3 +59,55 @@ def test_custom_schema_roundtrip(gbo):
     assert gbo.get_field_buffer_size(
         "custom", "values", [b"k0000000"]
     ) == 40
+
+
+class TestEnsureRecordTypeAtomicity:
+    """GBO.ensure_record_type: the atomic path RecordSchema.ensure uses
+    so concurrent read callbacks cannot collide in define_record."""
+
+    def test_returns_committed_type_idempotently(self, gbo):
+        schema = fluid_sample_schema()
+        schema.ensure(gbo)
+        first = gbo.record_type("fluid")
+        second = gbo.ensure_record_type(
+            "fluid", schema.num_keys,
+            [(f.name, f.is_key) for f in schema.fields],
+        )
+        assert second is first
+        assert second.committed
+
+    def test_mismatched_redefinition_rejected(self, gbo):
+        fluid_sample_schema().ensure(gbo)
+        with pytest.raises(SchemaError, match="different field set"):
+            gbo.ensure_record_type("fluid", 1, [("pressure", True)])
+
+    def test_unknown_field_type_rejected(self, gbo):
+        from repro.errors import UnknownTypeError
+        with pytest.raises(UnknownTypeError, match="mystery"):
+            gbo.ensure_record_type("broken", 1, [("mystery", True)])
+
+    def test_concurrent_ensure_is_race_free(self, gbo):
+        """Many threads (standing in for I/O workers re-running a read
+        callback) declaring the same schema at once: all must succeed
+        and exactly one definition must win."""
+        import threading
+
+        schema = fluid_sample_schema()
+        start = threading.Barrier(8)
+        errors = []
+
+        def declare():
+            try:
+                start.wait(timeout=10.0)
+                for _ in range(25):
+                    schema.ensure(gbo)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=declare) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert gbo.record_type("fluid").committed

@@ -148,7 +148,9 @@ class TestWorkerPool:
         with GBO(mem="8MB", io_workers=1) as gbo:
             for i in range(6):
                 gbo.add_unit(f"u{i}", reader(gate=gate))
-            assert gbo.stats.queue_depth_peak == 6
+            # The worker may claim the first unit between adds, so the
+            # observed peak is 6, or 5 if it got in early.
+            assert gbo.stats.queue_depth_peak >= 5
             assert gbo.queue_depth >= 5   # one may be claimed already
             gate.set()
             assert wait_for(lambda: gbo.queue_depth == 0)

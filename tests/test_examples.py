@@ -23,6 +23,7 @@ ALL_EXAMPLES = [
     "simulate_platforms.py",
     "client_server_explorer.py",
     "fluid_quicklook.py",
+    "deadlock_sanitizer.py",
 ]
 
 
@@ -58,6 +59,15 @@ def test_fluid_quicklook_runs(capsys):
     out = capsys.readouterr().out
     assert "rendered 6 frames" in out
     assert "units prefetched in background: 6" in out
+
+
+def test_deadlock_sanitizer_runs(capsys):
+    load_example("deadlock_sanitizer.py").main()
+    out = capsys.readouterr().out
+    assert "predictor verdict" in out
+    assert "would deadlock" in out
+    assert "GodivaDeadlockError raised" in out
+    assert "pipeline unwedged" in out
 
 
 def test_interactive_explorer_runs(capsys):

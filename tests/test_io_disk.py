@@ -122,3 +122,94 @@ class TestCostedFile:
         for t in threads:
             t.join()
         assert stats.snapshot()["bytes_read"] == 4 * 50 * 8
+
+
+class TestCostedFileClose:
+    def test_close_is_idempotent(self, sample_file):
+        f = CostedFile(sample_file)
+        f.read(4)
+        assert not f.closed
+        f.close()
+        assert f.closed
+        f.close()   # second close: no-op, no raise
+        assert f.closed
+
+    def test_with_block_after_explicit_close(self, sample_file):
+        # A callback may hand ownership around and close early; the
+        # context manager's exit must then be a no-op.
+        with CostedFile(sample_file) as f:
+            f.read(4)
+            f.close()
+        assert f.closed
+
+
+class TestIoStatsMerge:
+    def test_self_merge_is_noop(self, sample_file):
+        stats = IoStats()
+        with CostedFile(sample_file, stats=stats) as f:
+            f.read(100)
+        before = stats.snapshot()
+        stats.merge(stats)
+        assert stats.snapshot() == before
+
+    def test_merge_adds_counters_and_per_file(self, sample_file):
+        total, private = IoStats(), IoStats()
+        with CostedFile(sample_file, stats=total,
+                        profile=ENGLE_DISK) as f:
+            f.read(100)
+        with CostedFile(sample_file, stats=private,
+                        profile=ENGLE_DISK) as f:
+            f.read(50)
+        total.merge(private)
+        snap = total.snapshot()
+        assert snap["bytes_read"] == 150
+        assert snap["opens"] == 2
+        assert total.per_file_bytes[sample_file] == 150
+        # The source is read, not drained.
+        assert private.snapshot()["bytes_read"] == 50
+
+    def test_concurrent_cross_merge_does_not_deadlock(self):
+        """a.merge(b) racing b.merge(a): the id-ordered dual locking
+        must make this safe. A join timeout converts a lock-order
+        deadlock into a test failure."""
+        import threading
+
+        a, b = IoStats(), IoStats()
+        a.bytes_read = 1
+        b.bytes_read = 1
+
+        def cross(dst, src):
+            for _ in range(200):
+                dst.merge(src)
+
+        threads = [
+            threading.Thread(target=cross, args=(a, b)),
+            threading.Thread(target=cross, args=(b, a)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=20.0)
+        assert not any(t.is_alive() for t in threads), \
+            "cross-merge deadlocked"
+
+    def test_merge_is_atomic_against_recording(self, sample_file):
+        """A record_read on the source mid-merge must not be half
+        counted: totals after the dust settles have to balance."""
+        import threading
+
+        total, private = IoStats(), IoStats()
+
+        def record():
+            with CostedFile(sample_file, stats=private) as f:
+                for _ in range(100):
+                    f.read(8)
+
+        recorder = threading.Thread(target=record)
+        recorder.start()
+        for _ in range(50):
+            total.merge(private)
+        recorder.join()
+        final = IoStats()
+        final.merge(private)
+        assert final.snapshot()["bytes_read"] == 100 * 8
