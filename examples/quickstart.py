@@ -113,14 +113,16 @@ def main() -> None:
     unit1 = godiva.add_unit(file1, read_fluid_file, priority=1.0)
     unit2 = godiva.add_unit(file2, read_fluid_file)
 
+    # A UnitHandle is a context manager: the reference taken by wait()
+    # is released (finish_unit) on exit, even if processing raises.
     print("processing fluid_file1:")
-    unit1.wait()
-    process_unit(godiva, [1, 2], t)
+    with unit1.wait():
+        process_unit(godiva, [1, 2], t)
     unit1.delete()
 
     print("processing fluid_file2:")
-    unit2.wait()
-    process_unit(godiva, [3, 4], t)
+    with unit2.wait():
+        process_unit(godiva, [3, 4], t)
     unit2.delete()
 
     stats = godiva.stats

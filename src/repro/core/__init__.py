@@ -14,6 +14,10 @@ from repro.core.cache import (
 from repro.core.database import GBO
 from repro.core.compat import PaperGBO, install_paper_aliases
 from repro.core.index import normalize_key_values
+from repro.core.io_scheduler import IoScheduler
+from repro.core.memory_manager import LoadYield, MemoryManager
+from repro.core.record_engine import RecordEngine
+from repro.core.unit_store import UnitStore
 from repro.core.memory import (
     MB,
     RECORD_OVERHEAD_BYTES,
@@ -52,4 +56,9 @@ __all__ = [
     "FifoEvictionPolicy",
     "make_policy",
     "normalize_key_values",
+    "RecordEngine",
+    "UnitStore",
+    "MemoryManager",
+    "IoScheduler",
+    "LoadYield",
 ]

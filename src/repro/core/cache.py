@@ -60,16 +60,20 @@ class LruEvictionPolicy(EvictionPolicy):
         self._list = LruList()
 
     def add(self, unit_name: str) -> None:
+        """Insert at the most-recently-used end of the recency list."""
         self._list.touch(unit_name)
 
     def remove(self, unit_name: str) -> bool:
+        """Drop the unit from the recency list if present."""
         return self._list.discard(unit_name)
 
     def touch(self, unit_name: str) -> None:
+        """Move an evictable unit to the most-recently-used end."""
         if unit_name in self._list:
             self._list.touch(unit_name)
 
     def victim(self) -> Optional[str]:
+        """Pop and return the least-recently-used unit; None if empty."""
         if not self._list:
             return None
         return self._list.pop_lru()
@@ -95,16 +99,20 @@ class MruEvictionPolicy(EvictionPolicy):
         self._list = LruList()
 
     def add(self, unit_name: str) -> None:
+        """Insert at the most-recently-used end of the recency list."""
         self._list.touch(unit_name)
 
     def remove(self, unit_name: str) -> bool:
+        """Drop the unit from the recency list if present."""
         return self._list.discard(unit_name)
 
     def touch(self, unit_name: str) -> None:
+        """Move an evictable unit to the most-recently-used end."""
         if unit_name in self._list:
             self._list.touch(unit_name)
 
     def victim(self) -> Optional[str]:
+        """Pop and return the most-recently-used unit; None if empty."""
         if not self._list:
             return None
         # MRU = the tail of the recency list.
@@ -133,10 +141,12 @@ class FifoEvictionPolicy(EvictionPolicy):
         self._queue = FifoQueue()
 
     def add(self, unit_name: str) -> None:
+        """Append to the back of the queue (first add wins on re-adds)."""
         if unit_name not in self._queue:
             self._queue.push(unit_name)
 
     def remove(self, unit_name: str) -> bool:
+        """Drop the unit from the queue if present."""
         return self._queue.remove(unit_name)
 
     def touch(self, unit_name: str) -> None:
@@ -144,6 +154,7 @@ class FifoEvictionPolicy(EvictionPolicy):
         pass
 
     def victim(self) -> Optional[str]:
+        """Pop and return the oldest evictable unit; None if empty."""
         if not self._queue:
             return None
         return self._queue.pop()

@@ -1,138 +1,59 @@
 """The GBO (GODIVA Buffer Object) — the in-memory GODIVA database.
 
-One GBO per process (section 3.3: "Each processor has its own database,
-which manages its local data"). It exposes the paper's three interface
-groups:
-
-* **record operations** — ``define_field``, ``define_record``,
-  ``insert_field``, ``commit_record_type``, ``new_record``,
-  ``alloc_field_buffer``, ``commit_record``;
-* **dataset queries** — ``get_field_buffer``, ``get_field_buffer_size``;
-* **background I/O** — ``add_unit``, ``read_unit``, ``wait_unit``,
-  ``finish_unit``, ``delete_unit``, ``cancel_unit``, ``set_mem_space``.
-
-The multi-thread build (``background_io=True``, the paper's *TG* library)
-runs a pool of background I/O workers (``io_workers=N``; the default of 1
-preserves the paper's single-thread-drain behaviour exactly) draining a
-priority prefetch queue: ``add_unit`` orders pending units by (priority,
-FIFO arrival), ``wait_unit`` boosts the waited-on unit to the front, and
-queued units can be cancelled before their read starts. The single-thread
-build (``background_io=False``, the paper's *G* library) keeps all record
-and query interfaces but performs each read "inside the corresponding
-``wait_unit`` call" (section 4.2).
-
-Thread-safety: one lock/condition pair guards all state. Read callbacks run
-*without* the lock so they can call record operations re-entrantly. Public
-methods may be called from any thread except where documented. The lock
-pair is built through :mod:`repro.analysis.primitives`, so running with
-``REPRO_ANALYSIS=1`` turns on the concurrency sanitizer (lock-order
-tracking, "Lock held." contract assertions, lockset race detection over
-the fields annotated below) at zero cost to the default build.
+One GBO per process (section 3.3); a *facade* over four layers (lock
+discipline per module and in ``DESIGN.md``): RecordEngine (schema,
+records, index, queries — its **own** record lock), UnitStore (unit
+table), MemoryManager (accounting, eviction) and IoScheduler (prefetch
+queue, workers, deadlock detection); the last three share the
+facade-owned *engine* lock; global lock order is engine → record. The
+paper API is unchanged: the *TG* build (``background_io=True``) drains
+the queue with ``io_workers`` workers, the *G* build reads inside
+``wait_unit`` (section 4.2); read callbacks run lock-free and may
+re-enter the record interfaces (``REPRO_ANALYSIS=1`` sanitizes both).
 """
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.analysis.primitives import (
-    TrackedCondition,
-    TrackedLock,
-    make_held_checker,
-)
+from repro.analysis.primitives import TrackedCondition, TrackedLock
 from repro.analysis.races import guarded_by
-from repro.core.cache import EvictionPolicy, make_policy
-from repro.core.index import RecordIndex, normalize_key_values
-from repro.core.memory import (
-    MB,
-    RECORD_OVERHEAD_BYTES,
-    MemoryAccountant,
-    parse_mem,
-)
+from repro.core.io_scheduler import IoScheduler
+from repro.core.memory import MemoryAccountant, parse_budget
+from repro.core.memory_manager import LoadYield, MemoryManager
 from repro.core.record import FieldBuffer, Record
+from repro.core.record_engine import RecordEngine
 from repro.core.stats import GodivaStats
 from repro.core.types import UNKNOWN, DataType, FieldType, RecordType
-from repro.core.units import (
-    ProcessingUnit,
-    ReadFunction,
-    UnitHandle,
-    UnitState,
-)
-from repro.errors import (
-    DatabaseClosedError,
-    GodivaDeadlockError,
-    MemoryBudgetError,
-    ReadFunctionError,
-    SchemaError,
-    UnitStateError,
-    UnknownTypeError,
-    UnknownUnitError,
+from repro.core.unit_store import UnitStore
+from repro.core.units import ReadFunction, UnitHandle, UnitState
+from repro.errors import DatabaseClosedError
+
+_LoadYield = LoadYield  # compat alias; now lives in memory_manager
+
+#: Pure one-frame record delegates, fast-bound per GBO instance.
+_RECORD_DELEGATES = (
+    "define_field", "has_field_type", "field_type", "define_record", "has_record_type",
+    "record_type", "insert_field", "commit_record_type", "ensure_record_type", "new_record",
+    "alloc_field_buffer", "commit_record", "delete_record", "record_count", "records_of_type",
+    "get_record", "get_field_buffer", "get_field_buffer_size", "has_record",
 )
 
 
-class _WorkerStats:
-    """Per-I/O-worker utilization counters, mutated under the GBO lock."""
-
-    __slots__ = ("read_seconds", "blocked_seconds", "units_loaded")
-
-    def __init__(self) -> None:
-        self.read_seconds = 0.0
-        self.blocked_seconds = 0.0
-        self.units_loaded = 0
-
-
-class _LoadYield(BaseException):
-    """Internal: unwinds a read callback whose partial load must be rolled
-    back and re-queued so another stalled load can finish.
-
-    A ``BaseException`` so application read callbacks that catch
-    ``Exception`` cannot swallow it; it never escapes :meth:`GBO._run_read`.
-    """
-
-
-@guarded_by("_units", "_memory", "_policy", "_queue", "_io_blocked",
-            "_abort_loads", "_closing", lock="_lock")
+@guarded_by("_closing", lock="_lock")
 class GBO:
-    """The GODIVA database object.
+    """The GODIVA database object (facade over the four engine layers).
 
-    Parameters
-    ----------
-    mem:
-        Memory budget for buffers, prefetching and caching. Accepts a
-        string with a unit suffix (``"384MB"``, ``"1.5GB"``), an ``int``
-        byte count, or a ``float`` megabyte count. Exactly one of
-        ``mem``, ``mem_mb``, ``mem_bytes`` must be given.
-    mem_mb:
-        Legacy spelling: budget in MB — the constructor parameter from
-        the paper's sample code (``new GBO(400)``).
-    mem_bytes:
-        Legacy spelling: byte-precise budget.
-    background_io:
-        True (default) spawns the background I/O worker pool (the
-        paper's multi-thread *TG* library); False gives the
-        single-thread *G* library where ``wait_unit`` performs the read
-        inline.
-    io_workers:
-        Number of background I/O worker threads. The default of 1 is the
-        paper-faithful single background thread; larger pools overlap
-        several reads (useful when units map to separate files or the
-        read path mixes I/O waits with decode CPU).
-    eviction_policy:
-        'lru' (paper default), 'fifo', or 'mru'.
-    clock:
-        Monotonic-seconds callable used for all timing statistics;
-        injectable for deterministic tests and the platform simulator.
-    unit_event_hook:
-        Optional observability callback ``hook(event, unit_name, now)``
-        invoked on every unit state transition (events: added, queued,
-        read_started, loaded, finished, evicted, deleted, failed,
-        cancelled, boosted).
-        Called with the database lock held — the hook must be cheap and
-        must not call back into the GBO. See
-        :class:`repro.core.trace.UnitTracer`.
+    ``mem``/``mem_mb``/``mem_bytes``: one-of-three budget spellings
+    (:func:`repro.core.memory.parse_budget`); ``background_io=False``
+    selects the single-thread *G* build; ``io_workers`` sizes the pool;
+    ``eviction_policy`` is ``'lru'``/``'fifo'``/``'mru'``; ``clock``
+    injects the monotonic-seconds source; ``unit_event_hook(event,
+    unit_name, now)`` observes unit transitions under the engine lock
+    (see :class:`repro.core.trace.UnitTracer`).
     """
 
     def __init__(
@@ -147,102 +68,88 @@ class GBO:
         clock: Callable[[], float] = time.monotonic,
         unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
     ):
-        if sum(x is not None for x in (mem, mem_mb, mem_bytes)) != 1:
-            raise ValueError(
-                "specify exactly one of mem, mem_mb or mem_bytes"
-            )
-        if mem is not None:
-            budget = parse_mem(mem)
-        elif mem_mb is not None:
-            budget = int(mem_mb * MB)
-        else:
-            budget = int(mem_bytes)
+        budget = parse_budget(mem, mem_mb, mem_bytes)
         if io_workers < 1:
             raise ValueError("io_workers must be at least 1")
 
         self._lock = TrackedLock(f"GBO._lock@{id(self):#x}")
         self._cond = TrackedCondition(self._lock)
-        self._check_locked = make_held_checker(
-            self._lock, "GBO internal helper"
-        )
-        self._clock = clock
-
-        self._field_types: dict = {}
-        self._record_types: dict = {}
-        self._index = RecordIndex()
-        self._units: dict = {}
-        from repro.structures.priorityqueue import PriorityQueue
-
-        self._queue = PriorityQueue()
-        self._policy: EvictionPolicy = make_policy(eviction_policy)
-        self._memory = MemoryAccountant(budget)
         self.stats = GodivaStats()
-
-        self._unit_event_hook = unit_event_hook
         self._closing = False
         self._closed = False
-        #: Worker threads blocked on memory: thread -> (bytes needed,
-        #: name of the unit the blocked worker is loading).
-        self._io_blocked: Dict[threading.Thread, Tuple[int, Optional[str]]]
-        self._io_blocked = {}
-        #: Names of in-flight loads told to roll back and re-queue so a
-        #: stalled, waited-on load can claim their partial memory charges.
-        self._abort_loads: set = set()
-        self._load_ctx = threading.local()
 
-        self._io_threads: List[threading.Thread] = []
-        self._io_thread_set: frozenset = frozenset()
-        self._worker_stats: List[_WorkerStats] = []
-        if background_io:
-            self._worker_stats = [_WorkerStats() for _ in range(io_workers)]
-            for index in range(io_workers):
-                thread = threading.Thread(
-                    target=self._io_loop, args=(index,),
-                    name=f"godiva-io-{index}", daemon=True,
-                )
-                self._io_threads.append(thread)
-            self._io_thread_set = frozenset(self._io_threads)
-            for thread in self._io_threads:
-                thread.start()
+        self._records = RecordEngine(stats=self.stats, clock=clock)
+        self._store = UnitStore(lock=self._lock, cond=self._cond, stats=self.stats,
+                                clock=clock, unit_event_hook=unit_event_hook)
+        self._mem = MemoryManager(budget, policy=eviction_policy, lock=self._lock,
+                                  cond=self._cond, stats=self.stats, clock=clock)
+        self._io = IoScheduler(lock=self._lock, cond=self._cond, stats=self.stats,
+                               clock=clock, workers=io_workers if background_io else 0)
+        self._store.bind(memory=self._mem, scheduler=self._io)
+        self._mem.bind(units=self._store, scheduler=self._io,
+                       release_records=self._records.drop_unit_records,
+                       closing=lambda: self._closing)
+        self._io.bind(owner=self, units=self._store, memory=self._mem,
+                      check_open=self._check_open, closing=lambda: self._closing)
+        self._records.bind(charge=self._charge_bytes, release=self._release_bytes,
+                           current_load_unit=self._io.current_load_unit,
+                           touch_unit=self._touch_unit)
+        self._io.start()
+        if type(self) is GBO:
+            # Fast paths: shadow the pure delegate methods (kept below as
+            # real defs for docs/overrides) with layer-bound equivalents —
+            # one frame less per call; skipped in subclasses so overrides win.
+            for name in _RECORD_DELEGATES:
+                setattr(self, name, getattr(self._records, name))
+            self.read_unit = self._io.read_unit
+            self.wait_unit = self._io.wait_unit
 
-    # ==================================================================
-    # Lifecycle
-    # ==================================================================
+    # Record-layer seams; called WITHOUT the record lock held, so the
+    # engine → record lock order is never reversed.
+    def _charge_bytes(self, nbytes: int) -> None:
+        with self._cond:
+            self._mem.charge(nbytes)
+
+    def _release_bytes(self, nbytes: int, unit_name: Optional[str]) -> None:
+        with self._cond:
+            self._mem.release(nbytes, unit_name)
+            self._cond.notify_all()
+
+    def _touch_unit(self, unit_name: str) -> None:
+        with self._lock:
+            self._mem.touch(unit_name)
+
     @property
     def background_io(self) -> bool:
-        return bool(self._io_threads)
+        """Whether a background I/O worker pool is running."""
+        return bool(self._io.threads)
 
     @property
     def io_workers(self) -> int:
         """Number of background I/O worker threads (0 in the G build)."""
-        return len(self._io_threads)
+        return len(self._io.threads)
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
         return self._closed
 
     def close(self) -> None:
-        """Terminate the I/O workers and free all buffers.
-
-        The paper ties this to GBO destruction ("the background I/O thread
-        is terminated when the GBO object is deleted"); in Python we expose
-        it explicitly and via the context-manager protocol.
-        """
+        """Terminate the I/O workers and free all buffers (the paper
+        ties this to GBO destruction; also ``with`` exit)."""
         with self._cond:
             if self._closed:
                 return
             self._closing = True
             self._cond.notify_all()
-        for thread in self._io_threads:
-            thread.join()
+        self._records.begin_close()
+        self._io.join()
         with self._cond:
-            for record in self._index.clear():
-                record.release_all()
-            self._units.clear()
-            self._queue.clear()
-            while self._policy.victim() is not None:
-                pass
+            self._store.clear()
+            self._io.clear_queue()
+            self._mem.drain()
             self._closed = True
+        self._records.shutdown()
 
     def __enter__(self) -> "GBO":
         return self
@@ -251,990 +158,238 @@ class GBO:
         self.close()
 
     def _check_open(self) -> None:
+        """Raise once close() has begun. Engine lock held."""
         if self._closing or self._closed:
             raise DatabaseClosedError("GBO has been closed")
 
-    # ==================================================================
-    # Memory
-    # ==================================================================
     @property
     def mem_budget_bytes(self) -> int:
+        """The current memory budget in bytes."""
         with self._lock:
-            return self._memory.budget_bytes
+            return self._mem.accountant.budget_bytes
 
     @property
     def mem_used_bytes(self) -> int:
+        """Bytes currently charged against the budget."""
         with self._lock:
-            return self._memory.used_bytes
+            return self._mem.accountant.used_bytes
 
     @property
     def mem_high_water_bytes(self) -> int:
+        """The highest usage ever observed."""
         with self._lock:
-            return self._memory.high_water_bytes
+            return self._mem.accountant.high_water_bytes
 
     def set_mem_space(self, mem_mb: Optional[float] = None,
                       *, mem_bytes: Optional[int] = None,
                       mem: Union[str, int, float, None] = None) -> None:
-        """Adjust the memory budget at runtime (the paper's ``setMemSpace``).
-
-        The first positional argument keeps the paper's MB convention
-        (``setMemSpace(300)``); ``mem=`` accepts the same ``"384MB"`` /
-        int-bytes / float-MB spellings as the constructor.
-
-        Shrinking below current usage evicts finished units immediately;
-        if usage still exceeds the new budget, future allocations block (or
-        fail) until the application finishes/deletes units.
-        """
-        if sum(x is not None for x in (mem, mem_mb, mem_bytes)) != 1:
-            raise ValueError(
-                "specify exactly one of mem, mem_mb or mem_bytes"
-            )
-        if mem is not None:
-            budget = parse_mem(mem)
-        elif mem_mb is not None:
-            budget = int(mem_mb * MB)
-        else:
-            budget = int(mem_bytes)
+        """Adjust the budget (setMemSpace, MB positional); shrinking
+        evicts finished units immediately."""
+        budget = parse_budget(mem, mem_mb, mem_bytes)
         with self._cond:
             self._check_open()
-            self._memory.set_budget(budget)
-            while self._memory.used_bytes > budget:
-                victim = self._policy.victim()
-                if victim is None:
-                    break
-                self._evict_locked(self._units[victim], deleting=False)
-            self._cond.notify_all()
+            self._mem.set_budget(budget)
 
-    def _emit(self, event: str, unit_name: str) -> None:
-        """Fire the unit-event hook. Lock held."""
-        self._check_locked()
-        if self._unit_event_hook is not None:
-            self._unit_event_hook(event, unit_name, self._clock())
-
-    def _current_load_unit(self) -> Optional[str]:
-        return getattr(self._load_ctx, "unit_name", None)
-
-    def _charge_locked(self, nbytes: int) -> None:
-        """Charge ``nbytes``, evicting/blocking as needed. Lock held."""
-        self._check_locked()
-        if not self._memory.can_ever_fit(nbytes):
-            raise MemoryBudgetError(
-                f"allocation of {nbytes} bytes exceeds the total budget of "
-                f"{self._memory.budget_bytes} bytes"
-            )
-        thread = threading.current_thread()
-        on_io_thread = thread in self._io_thread_set
-        while not self._memory.fits(nbytes):
-            victim = self._policy.victim()
-            if victim is not None:
-                self._evict_locked(self._units[victim], deleting=False)
-                continue
-            if on_io_thread:
-                loading = self._current_load_unit()
-                if loading is not None and loading in self._abort_loads:
-                    # A waiter needs this load's partial charges rolled
-                    # back; unwind to _run_read, which frees and re-queues.
-                    raise _LoadYield()
-                # Background prefetch outran the application; block until
-                # finish_unit/delete_unit frees memory (section 3.2: the
-                # I/O thread is "blocked for lack of memory space").
-                self._io_blocked[thread] = (nbytes, loading)
-                self._cond.notify_all()
-                t0 = self._clock()
-                self._cond.wait()
-                blocked = self._clock() - t0
-                self.stats.io_thread_blocked_seconds += blocked
-                worker = getattr(self._load_ctx, "worker", None)
-                if worker is not None:
-                    self._worker_stats[worker].blocked_seconds += blocked
-                self._io_blocked.pop(thread, None)
-                if self._closing:
-                    raise DatabaseClosedError("GBO closed during prefetch")
-                continue
-            raise MemoryBudgetError(
-                f"cannot allocate {nbytes} bytes: "
-                f"{self._memory.used_bytes}/{self._memory.budget_bytes} "
-                f"bytes in use and no finished unit is evictable — "
-                f"finish_unit/delete_unit processed units to free space"
-            )
-        self._memory.charge(nbytes)
-        self.stats.bytes_allocated += nbytes
-        unit_name = self._current_load_unit()
-        if unit_name is not None:
-            unit = self._units.get(unit_name)
-            if unit is not None:
-                unit.resident_bytes += nbytes
-
-    def _release_locked(self, nbytes: int,
-                        unit_name: Optional[str]) -> None:
-        """Return ``nbytes`` to the budget. Lock held."""
-        self._check_locked()
-        self._memory.release(nbytes)
-        self.stats.bytes_released += nbytes
-        if unit_name is not None:
-            unit = self._units.get(unit_name)
-            if unit is not None:
-                unit.resident_bytes -= nbytes
-
-    # ==================================================================
-    # Record operations (schema)
-    # ==================================================================
-    def define_field(self, name: str, data_type: DataType,
-                     size=UNKNOWN) -> FieldType:
-        """Define (and name) a field type: name, data type, buffer size.
-
-        Identical redefinitions are idempotent — read callbacks run once
-        per unit and commonly re-issue their schema — but conflicting
-        redefinitions raise :class:`SchemaError`.
-        """
-        field_type = FieldType(name, data_type, size)
+    def memory_report(self) -> dict:
+        """Diagnostic snapshot of where the budget went, per unit."""
         with self._lock:
-            self._check_open()
-            existing = self._field_types.get(name)
-            if existing is not None:
-                if existing != field_type:
-                    raise SchemaError(
-                        f"field type {name!r} redefined with a different "
-                        f"definition ({existing} vs {field_type})"
-                    )
-                return existing
-            self._field_types[name] = field_type
-            return field_type
+            return self._mem.report()
+
+    def define_field(self, name: str, data_type: DataType,
+                     size: int = UNKNOWN) -> FieldType:
+        """Define (and name) a field type: name, data type, buffer size."""
+        return self._records.define_field(name, data_type, size)
 
     def has_field_type(self, name: str) -> bool:
-        with self._lock:
-            return name in self._field_types
+        """Whether a field type with this name exists."""
+        return self._records.has_field_type(name)
 
     def field_type(self, name: str) -> FieldType:
-        with self._lock:
-            try:
-                return self._field_types[name]
-            except KeyError:
-                raise UnknownTypeError(
-                    f"field type {name!r} is not defined"
-                ) from None
+        """The named field type, or raise :class:`UnknownTypeError`."""
+        return self._records.field_type(name)
 
     def define_record(self, name: str, num_keys: int) -> RecordType:
         """Start a new record type with ``num_keys`` declared key fields."""
-        with self._lock:
-            self._check_open()
-            if name in self._record_types:
-                raise SchemaError(
-                    f"record type {name!r} already defined; use "
-                    f"has_record_type() to guard re-entrant definitions"
-                )
-            record_type = RecordType(name, num_keys)
-            self._record_types[name] = record_type
-            return record_type
+        return self._records.define_record(name, num_keys)
 
     def has_record_type(self, name: str) -> bool:
-        with self._lock:
-            return name in self._record_types
+        """Whether a record type with this name exists."""
+        return self._records.has_record_type(name)
 
     def record_type(self, name: str) -> RecordType:
-        with self._lock:
-            return self._record_type_locked(name)
-
-    def _record_type_locked(self, name: str) -> RecordType:
-        """Look up a record type. Lock held."""
-        self._check_locked()
-        try:
-            return self._record_types[name]
-        except KeyError:
-            raise UnknownTypeError(
-                f"record type {name!r} is not defined"
-            ) from None
+        """The named record type, or raise :class:`UnknownTypeError`."""
+        return self._records.record_type(name)
 
     def insert_field(self, record_type_name: str, field_name: str,
                      is_key: bool) -> None:
         """Add a predefined field type to a record type's field set."""
-        with self._lock:
-            self._check_open()
-            record_type = self._record_type_locked(record_type_name)
-            try:
-                field_type = self._field_types[field_name]
-            except KeyError:
-                raise UnknownTypeError(
-                    f"field type {field_name!r} is not defined"
-                ) from None
-            record_type.insert_field(field_type, is_key)
+        self._records.insert_field(record_type_name, field_name, is_key)
 
     def commit_record_type(self, name: str) -> None:
         """Conclude a record type definition; instances may now be made."""
-        with self._cond:
-            self._check_open()
-            self._record_type_locked(name).commit()
-            self._cond.notify_all()
+        self._records.commit_record_type(name)
 
-    def ensure_record_type(
-        self,
-        name: str,
-        num_keys: int,
-        fields: Sequence[Tuple[str, bool]],
-    ) -> RecordType:
-        """Atomically look up, or define and commit, a record type.
+    def ensure_record_type(self, name: str, num_keys: int,
+                           fields: Sequence[Tuple[str, bool]]) -> RecordType:
+        """Atomically look up, or define and commit, a record type."""
+        return self._records.ensure_record_type(name, num_keys, fields)
 
-        ``fields`` is the full field set as ``(field_name, is_key)``
-        pairs over already-defined field types. The incremental
-        ``define_record``/``insert_field``/``commit_record_type``
-        sequence has a check-then-act window: two read callbacks
-        (re)declaring the same schema concurrently can both pass a
-        ``has_record_type`` guard and collide in ``define_record``.
-        This method performs the whole definition under one lock hold,
-        so racing callers all succeed and exactly one of them creates
-        the type. If the type already exists and is committed it is
-        returned as-is after checking that the field set matches; a
-        type mid-definition through the incremental interface on
-        another thread is waited for.
-        """
-        with self._cond:
-            self._check_open()
-            while True:
-                existing = self._record_types.get(name)
-                if existing is None:
-                    break
-                if existing.committed:
-                    declared = tuple(field_name for field_name, _ in fields)
-                    if (existing.num_keys != num_keys
-                            or existing.field_names != declared):
-                        raise SchemaError(
-                            f"record type {name!r} already defined with a "
-                            f"different field set ({existing.field_names} "
-                            f"vs {declared})"
-                        )
-                    return existing
-                self._cond.wait()
-                self._check_open()
-            record_type = RecordType(name, num_keys)
-            for field_name, is_key in fields:
-                try:
-                    field_type = self._field_types[field_name]
-                except KeyError:
-                    raise UnknownTypeError(
-                        f"field type {field_name!r} is not defined"
-                    ) from None
-                record_type.insert_field(field_type, is_key)
-            record_type.commit()
-            self._record_types[name] = record_type
-            self._cond.notify_all()
-            return record_type
-
-    # ==================================================================
-    # Record operations (instances)
-    # ==================================================================
     def new_record(self, record_type_name: str) -> Record:
-        """Create a record; known-size field buffers are allocated now.
-
-        Records created inside a read callback belong to that callback's
-        processing unit and are evicted with it; records created elsewhere
-        are unattached and live until deleted.
-        """
-        with self._cond:
-            self._check_open()
-            record_type = self._record_type_locked(record_type_name)
-            if not record_type.committed:
-                raise SchemaError(
-                    f"record type {record_type_name!r} is not committed"
-                )
-            upfront = record_type.fixed_size_bytes() + RECORD_OVERHEAD_BYTES
-            self._charge_locked(upfront)
-            record = Record(record_type)
-            self._index.track(record, self._current_load_unit())
-            return record
+        """Create a record; known-size field buffers are allocated now."""
+        return self._records.new_record(record_type_name)
 
     def alloc_field_buffer(self, record: Record, field_name: str,
                            nbytes: int) -> FieldBuffer:
         """Allocate an UNKNOWN-size field's buffer (size now known)."""
-        with self._cond:
-            self._check_open()
-            buf = record.field(field_name)
-            # Validate pre-conditions before charging so failures do not
-            # leak budget.
-            if buf.allocated or buf.field_type.has_known_size:
-                buf.allocate(nbytes)  # raises the precise error
-            self._charge_locked(nbytes)
-            try:
-                buf.allocate(nbytes)
-            except BaseException:
-                self._release_locked(nbytes, record.unit_name)
-                raise
-            return buf
+        return self._records.alloc_field_buffer(record, field_name, nbytes)
 
     def commit_record(self, record: Record) -> None:
         """Insert the record into the index under its key-field values."""
-        with self._lock:
-            self._check_open()
-            self._index.commit(record)
-            self.stats.records_committed += 1
+        self._records.commit_record(record)
 
     def delete_record(self, record: Record) -> None:
         """Unindex a single record and free its buffers."""
-        with self._cond:
-            self._check_open()
-            unit_name = record.unit_name
-            self._index.drop_record(record)
-            freed = record.release_all() + RECORD_OVERHEAD_BYTES
-            self._release_locked(freed, unit_name)
-            self._cond.notify_all()
+        self._records.delete_record(record)
 
     def record_count(self, record_type_name: Optional[str] = None) -> int:
-        with self._lock:
-            return self._index.count(record_type_name)
+        """Number of committed records (optionally of one type)."""
+        return self._records.record_count(record_type_name)
 
     def records_of_type(self, record_type_name: str) -> List[Record]:
         """All committed records of a type, ordered by key."""
-        with self._lock:
-            return list(self._index.records_of_type(record_type_name))
+        return self._records.records_of_type(record_type_name)
 
-    # ==================================================================
-    # Dataset queries
-    # ==================================================================
     def get_record(self, record_type_name: str,
                    key_values: Sequence) -> Record:
-        """Key lookup: the record identified by the key-value combination."""
-        key = normalize_key_values(key_values)
-        with self._lock:
-            self._check_open()
-            self.stats.queries += 1
-            record = self._index.lookup(record_type_name, key)
-            if record.unit_name is not None:
-                self._policy.touch(record.unit_name)
-            return record
+        """Key lookup: the record under the key-value combination."""
+        return self._records.get_record(record_type_name, key_values)
 
     def get_field_buffer(self, record_type_name: str, field_name: str,
                          key_values: Sequence) -> np.ndarray:
-        """Return the live data buffer of ``field_name`` in the record
-        identified by ``key_values`` — a zero-copy numpy view, the Python
-        analogue of the paper's raw buffer pointer."""
-        return self.get_record(record_type_name, key_values).field(
-            field_name
-        ).as_array()
+        """The live, zero-copy data buffer of the looked-up field."""
+        return self._records.get_field_buffer(record_type_name, field_name, key_values)
 
     def get_field_buffer_size(self, record_type_name: str, field_name: str,
                               key_values: Sequence) -> int:
-        """Like :meth:`get_field_buffer` but returns the size in bytes."""
-        return self.get_record(record_type_name, key_values).field(
-            field_name
-        ).size
+        """The looked-up field's buffer size in bytes."""
+        return self._records.get_field_buffer_size(record_type_name, field_name, key_values)
 
     def has_record(self, record_type_name: str,
                    key_values: Sequence) -> bool:
-        key = normalize_key_values(key_values)
-        with self._lock:
-            return self._index.contains(record_type_name, key)
+        """Whether a record exists under the key-value combination."""
+        return self._records.has_record(record_type_name, key_values)
 
-    # ==================================================================
-    # Background I/O interfaces
-    # ==================================================================
     def add_unit(self, name: str, read_fn: ReadFunction,
                  priority: float = 0.0) -> UnitHandle:
-        """Append a unit to the prefetch queue (non-blocking).
-
-        In the multi-thread build a background I/O worker will load it
-        via ``read_fn(gbo, name)`` as memory allows; in the single-thread
-        build the read happens inside the eventual ``wait_unit``. Pending
-        units are served highest ``priority`` first, FIFO within equal
-        priorities (the default priority of 0.0 for every unit reproduces
-        the paper's plain FIFO prefetch list). Returns a
-        :class:`~repro.core.units.UnitHandle` for the unit.
-        """
+        """Queue a unit for prefetch (non-blocking); served highest
+        priority first, FIFO ties (the paper's prefetch list)."""
         if read_fn is None:
             raise ValueError("add_unit requires a read function")
         with self._cond:
             self._check_open()
-            unit = self._units.get(name)
-            if unit is not None and unit.state in (
-                UnitState.QUEUED, UnitState.READING, UnitState.RESIDENT
-            ):
-                raise UnitStateError(
-                    f"unit {name!r} is already {unit.state.value}"
-                )
-            # Fresh unit, or resurrection after eviction/failure/deletion.
-            unit = ProcessingUnit(name, read_fn, priority=priority)
-            self._units[name] = unit
-            unit.enqueued_at = self._clock()
-            self._queue.push(name, priority=priority)
-            if len(self._queue) > self.stats.queue_depth_peak:
-                self.stats.queue_depth_peak = len(self._queue)
-            self.stats.units_added += 1
-            self._emit("added", name)
-            self._cond.notify_all()
-            return UnitHandle(self, name)
+            return self._io.enqueue(name, read_fn, priority)
 
     def read_unit(self, name: str,
                   read_fn: Optional[ReadFunction] = None) -> None:
-        """Explicitly read a unit into the database, blocking the caller.
-
-        This is the interactive-mode path (section 3.2): foreground
-        blocking I/O when future accesses cannot be predicted. If the unit
-        is already resident this is a cache hit; if the background thread
-        is mid-read we wait for it; otherwise the read callback runs on the
-        calling thread. Must not be called from inside a read callback.
-        """
-        with self._cond:
-            self._check_open()
-            unit = self._units.get(name)
-            if unit is None:
-                if read_fn is None:
-                    raise UnknownUnitError(
-                        f"unit {name!r} is unknown and no read function "
-                        f"was supplied"
-                    )
-                unit = ProcessingUnit(name, read_fn)
-                self._units[name] = unit
-                self.stats.units_added += 1
-            elif read_fn is not None:
-                unit.read_fn = read_fn
-
-            if unit.state is UnitState.RESIDENT:
-                self.stats.wait_hits += 1
-                unit.ref_count += 1
-                self._policy.remove(name)
-                return
-            if unit.state is UnitState.READING:
-                # Background thread has it; fall back to waiting.
-                self.stats.wait_misses += 1
-                self._wait_until_resident_locked(unit)
-                return
-            if unit.state is UnitState.QUEUED:
-                self._queue.remove(name)
-            if unit.read_fn is None:
-                raise UnknownUnitError(
-                    f"unit {name!r} has no read function to reload with"
-                )
-            unit.state = UnitState.READING
-            self.stats.wait_misses += 1
-            read_callable = unit.read_fn
-        self._run_read(name, read_callable, foreground=True)
-        with self._cond:
-            unit = self._units[name]
-            if unit.state is UnitState.FAILED:
-                raise ReadFunctionError(
-                    f"read function for unit {name!r} failed"
-                ) from unit.error
-            unit.ref_count += 1
+        """Blocking foreground read (interactive mode, section 3.2);
+        never from inside a read callback."""
+        self._io.read_unit(name, read_fn)
 
     def wait_unit(self, name: str) -> None:
-        """Block until the named unit is resident in the database.
-
-        Resident on entry is a cache hit. An evicted unit is transparently
-        re-queued for prefetch (multi-thread) or re-read inline
-        (single-thread). Detects the paper's deadlock: waiting for a unit
-        while the I/O thread is blocked on memory with nothing evictable.
-        """
-        with self._cond:
-            self._check_open()
-            unit = self._units.get(name)
-            if unit is None:
-                raise UnknownUnitError(f"unit {name!r} was never added")
-            if unit.state is UnitState.RESIDENT:
-                self.stats.wait_hits += 1
-                unit.ref_count += 1
-                self._policy.remove(name)
-                return
-            if unit.state is UnitState.DELETED:
-                raise UnitStateError(f"unit {name!r} was deleted")
-            self.stats.wait_misses += 1
-
-            if not self._io_threads:
-                # Single-thread build: the read happens inside wait_unit
-                # (the paper's G library, section 4.2).
-                if unit.state is UnitState.QUEUED:
-                    self._queue.remove(name)
-                if unit.read_fn is None:
-                    raise UnknownUnitError(
-                        f"unit {name!r} has no read function"
-                    )
-                unit.state = UnitState.READING
-                read_callable = unit.read_fn
-            else:
-                if unit.state is UnitState.QUEUED:
-                    # The application is blocked on this unit right now:
-                    # jump it past everything else still pending.
-                    if self._queue.to_front(name):
-                        self.stats.wait_boosts += 1
-                        self._emit("boosted", name)
-                        self._cond.notify_all()
-                self._wait_until_resident_locked(unit)
-                return
-        # Single-thread inline read, outside the lock.
-        self._run_read(name, read_callable, foreground=True)
-        with self._cond:
-            unit = self._units[name]
-            if unit.state is UnitState.FAILED:
-                raise ReadFunctionError(
-                    f"read function for unit {name!r} failed"
-                ) from unit.error
-            unit.ref_count += 1
-
-    def _wait_until_resident_locked(self, unit: ProcessingUnit) -> None:
-        """Multi-thread wait loop with deadlock detection. Lock held."""
-        self._check_locked()
-        t0 = self._clock()
-        try:
-            while True:
-                if unit.state is UnitState.RESIDENT:
-                    unit.ref_count += 1
-                    self._policy.remove(unit.name)
-                    return
-                if unit.state is UnitState.FAILED:
-                    raise ReadFunctionError(
-                        f"read function for unit {unit.name!r} failed"
-                    ) from unit.error
-                if unit.state is UnitState.DELETED:
-                    raise UnitStateError(
-                        f"unit {unit.name!r} was deleted while being "
-                        f"waited for"
-                    )
-                if unit.state is UnitState.EVICTED:
-                    # Transparent re-fetch after cache eviction; waited-on
-                    # reloads go straight to the front of the queue.
-                    if unit.read_fn is None:
-                        raise UnknownUnitError(
-                            f"unit {unit.name!r} was evicted and has no "
-                            f"read function to reload with"
-                        )
-                    unit.state = UnitState.QUEUED
-                    unit.finished = False
-                    unit.enqueued_at = self._clock()
-                    self._queue.push(unit.name, priority=unit.priority)
-                    self._queue.to_front(unit.name)
-                    self._cond.notify_all()
-                self._check_deadlock_locked(unit)
-                self._check_open()
-                self._cond.wait(timeout=0.5)
-        finally:
-            elapsed = self._clock() - t0
-            self.stats.wait_seconds += elapsed
-            self.stats.wait_samples.append(elapsed)
-
-    def _check_deadlock_locked(self, unit: ProcessingUnit) -> None:
-        """Raise if waiting for ``unit`` can never make progress.
-
-        Generalizes the paper's single-thread deadlock (application waits
-        for a unit while the I/O thread is blocked on memory with nothing
-        evictable) to a pool of N workers:
-
-        * the waited-on unit is READING and *its* worker is blocked on an
-          allocation that cannot fit even after eviction — that worker will
-          never finish the unit; or
-        * the waited-on unit is still QUEUED while *every* worker is
-          blocked on memory and none of their allocations can fit — no
-          worker will ever come back to drain the queue.
-
-        Either way, before declaring deadlock it first tries to *break*
-        the stall, demand beating speculation:
-
-        1. completed prefetches nobody has consumed yet (RESIDENT,
-           unfinished, unreferenced) are emergency-evicted — they reload
-           transparently if waited on later;
-        2. other blocked workers holding partial charges are told to
-           roll back and re-queue (``_abort_loads``), freeing their
-           memory for the waited-on load.
-
-        Deadlock is reported only when neither can help — the remaining
-        memory is pinned by referenced or unfinished-but-held units,
-        which genuinely requires ``finish_unit``/``delete_unit``.
-
-        Lock held.
-        """
-        self._check_locked()
-        if not self._io_blocked or len(self._policy) != 0:
-            return
-        if self._abort_loads:
-            return  # rollbacks already requested; let them land first
-        blocked_loading = {
-            loading for _nbytes, loading in self._io_blocked.values()
-            if loading is not None
-        }
-        if any(
-            u.state is UnitState.READING and u.name not in blocked_loading
-            for u in self._units.values()
-        ):
-            return  # a load is still actively progressing; reassess later
-        if unit.state is UnitState.READING:
-            needed = next(
-                (nbytes for nbytes, loading in self._io_blocked.values()
-                 if loading == unit.name),
-                None,
-            )
-            if needed is None:
-                return
-        elif unit.state is UnitState.QUEUED:
-            # The admission gate idles every non-blocked worker while a
-            # peer is blocked, so one stuck worker is enough to starve
-            # the whole queue: the first blocked allocation to fit will
-            # resume the drain.
-            needed = min(
-                nbytes for nbytes, _loading in self._io_blocked.values()
-            )
-        else:
-            return
-        if self._memory.fits(needed):
-            return
-        # Completed prefetches nobody consumed: safe to drop, they
-        # re-queue on demand like any evicted unit.
-        idle_prefetched = [
-            u for u in self._units.values()
-            if u.state is UnitState.RESIDENT and not u.finished
-            and u.ref_count == 0 and u.name != unit.name
-        ]
-        # Partial charges of other blocked in-flight loads.
-        rollback = [
-            u for name in blocked_loading if name != unit.name
-            for u in (self._units.get(name),) if u is not None
-        ]
-        reclaimable = (
-            sum(u.resident_bytes for u in idle_prefetched)
-            + sum(u.resident_bytes for u in rollback)
-        )
-        if (self._memory.used_bytes - reclaimable + needed
-                <= self._memory.budget_bytes):
-            for victim in idle_prefetched:
-                if self._memory.fits(needed):
-                    break
-                self._evict_locked(victim, deleting=False)
-            if not self._memory.fits(needed):
-                self._abort_loads.update(u.name for u in rollback)
-                self.stats.load_yields += len(rollback)
-            self._cond.notify_all()
-            return
-        if unit.state is UnitState.READING:
-            raise GodivaDeadlockError(
-                f"waiting for unit {unit.name!r} but the I/O "
-                f"worker loading it is blocked on memory "
-                f"({self._memory.used_bytes}/"
-                f"{self._memory.budget_bytes} bytes used) and no "
-                f"unit is evictable — the application must "
-                f"finish_unit/delete_unit processed units"
-            )
-        raise GodivaDeadlockError(
-            f"waiting for queued unit {unit.name!r} but "
-            f"{len(self._io_blocked)} I/O worker(s) are blocked "
-            f"on memory ({self._memory.used_bytes}/"
-            f"{self._memory.budget_bytes} bytes used) and no "
-            f"unit is evictable — the application must "
-            f"finish_unit/delete_unit processed units"
-        )
+        """Block until resident (evicted units re-queue, or re-read
+        inline in the G build); raises on a true deadlock."""
+        self._io.wait_unit(name)
 
     def finish_unit(self, name: str) -> None:
-        """Declare processing of the unit complete; it becomes evictable
-        once all references are released (section 3.2: the database "may
-        feel free to evict all its records")."""
+        """Declare processing complete; evictable once unreferenced."""
         with self._cond:
             self._check_open()
-            unit = self._units.get(name)
-            if unit is None:
-                raise UnknownUnitError(f"unit {name!r} was never added")
-            if unit.state is not UnitState.RESIDENT:
-                raise UnitStateError(
-                    f"cannot finish unit {name!r} in state "
-                    f"{unit.state.value}"
-                )
-            unit.finished = True
-            if unit.ref_count > 0:
-                unit.ref_count -= 1
-            self._emit("finished", name)
-            if unit.evictable:
-                self._policy.add(name)
-                self._cond.notify_all()
+            self._store.finish(name)
 
     def delete_unit(self, name: str) -> None:
         """Explicitly delete the unit's records and free their memory."""
         with self._cond:
             self._check_open()
-            unit = self._units.get(name)
-            if unit is None:
-                raise UnknownUnitError(f"unit {name!r} was never added")
-            if unit.state is UnitState.DELETED:
-                return  # idempotent
-            if unit.state is UnitState.QUEUED:
-                self._queue.remove(name)
-                unit.state = UnitState.DELETED
-                self.stats.units_deleted += 1
-                self._emit("deleted", name)
-                return
-            if unit.state is UnitState.READING:
-                # The loader deletes it the moment the callback returns.
-                unit.pending_delete = True
-                return
-            if unit.state is UnitState.RESIDENT:
-                self._evict_locked(unit, deleting=True)
-            else:  # EVICTED or FAILED — nothing resident to free
-                unit.state = UnitState.DELETED
-                self._emit("deleted", name)
-            self.stats.units_deleted += 1
-            self._cond.notify_all()
+            self._store.delete(name)
 
     def cancel_unit(self, name: str) -> bool:
-        """Cancel a pending prefetch before its read starts.
-
-        Returns True if the unit was still QUEUED and is now removed from
-        the prefetch queue (state DELETED); False if the read already
-        started or completed — cancellation never interrupts an in-flight
-        read (use :meth:`delete_unit` to discard the unit afterwards).
-        """
+        """Cancel a pending prefetch: True only if still QUEUED (never
+        interrupts a started read — then False)."""
         with self._cond:
             self._check_open()
-            unit = self._units.get(name)
-            if unit is None:
-                raise UnknownUnitError(f"unit {name!r} was never added")
-            if unit.state is not UnitState.QUEUED:
-                return False
-            self._queue.remove(name)
-            unit.state = UnitState.DELETED
-            self.stats.units_cancelled += 1
-            self._emit("cancelled", name)
-            self._cond.notify_all()
-            return True
+            return self._store.cancel(name)
 
     def unit(self, name: str) -> UnitHandle:
         """A :class:`UnitHandle` for an already-added unit."""
         with self._lock:
-            if name not in self._units:
-                raise UnknownUnitError(f"unit {name!r} was never added")
+            self._store.require(name)
             return UnitHandle(self, name)
 
     def unit_priority(self, name: str) -> float:
+        """The unit's stored prefetch priority."""
         with self._lock:
-            unit = self._units.get(name)
-            if unit is None:
-                raise UnknownUnitError(f"unit {name!r} was never added")
-            return unit.priority
+            return self._store.priority_of(name)
 
     def set_unit_priority(self, name: str, priority: float) -> None:
-        """Change a unit's prefetch priority.
-
-        Reorders the pending queue if the unit is still QUEUED (FIFO
-        arrival order is preserved among equal priorities); for any other
-        state only the stored priority changes, which takes effect on the
-        next re-queue after an eviction.
-        """
+        """Change a unit's prefetch priority, reordering if still QUEUED."""
         with self._cond:
             self._check_open()
-            unit = self._units.get(name)
-            if unit is None:
-                raise UnknownUnitError(f"unit {name!r} was never added")
-            unit.priority = priority
-            if self._queue.reprioritize(name, priority):
-                self._cond.notify_all()
+            self._io.reprioritize(name, priority)
 
     @property
     def queue_depth(self) -> int:
         """Units currently pending in the prefetch queue."""
         with self._lock:
-            return len(self._queue)
+            return self._io.queue_len()
 
     def worker_report(self) -> List[dict]:
-        """Per-worker utilization: one dict per I/O worker.
-
-        ``read_seconds`` is time spent inside read callbacks (it includes
-        any memory-blocked time, which is also reported separately as
-        ``blocked_seconds``); ``units_loaded`` counts successful loads.
-        Empty in the single-thread (G) build.
-        """
+        """Per-worker utilization dicts (empty in the G build)."""
         with self._lock:
-            return [
-                {
-                    "worker": index,
-                    "read_seconds": ws.read_seconds,
-                    "blocked_seconds": ws.blocked_seconds,
-                    "units_loaded": ws.units_loaded,
-                }
-                for index, ws in enumerate(self._worker_stats)
-            ]
+            return self._io.report()
 
-    # ------------------------------------------------------------------
-    # Unit introspection
-    # ------------------------------------------------------------------
     def unit_state(self, name: str) -> UnitState:
+        """The unit's lifecycle state."""
         with self._lock:
-            unit = self._units.get(name)
-            if unit is None:
-                raise UnknownUnitError(f"unit {name!r} was never added")
-            return unit.state
+            return self._store.state_of(name)
 
     def is_resident(self, name: str) -> bool:
+        """Whether the named unit is currently RESIDENT."""
         with self._lock:
-            unit = self._units.get(name)
+            unit = self._store.get(name)
             return unit is not None and unit.state is UnitState.RESIDENT
 
     def list_units(self) -> List[Tuple[str, UnitState]]:
+        """(name, state) for every known unit."""
         with self._lock:
-            return [(u.name, u.state) for u in self._units.values()]
+            return self._store.list_units()
 
     def resident_bytes_of(self, name: str) -> int:
+        """Bytes currently charged to the named unit."""
         with self._lock:
-            unit = self._units.get(name)
-            if unit is None:
-                raise UnknownUnitError(f"unit {name!r} was never added")
-            return unit.resident_bytes
+            return self._store.resident_bytes_of(name)
 
-    def memory_report(self) -> dict:
-        """Diagnostic snapshot of where the budget went.
+    # Layer views: GBO internals under their original names (used by
+    # analysis.invariants and white-box tests); engine-lock rules apply.
+    @property
+    def _units(self) -> Dict[str, object]:
+        return self._store.units  # unit table (UnitStore)
 
-        Returns budget/used/peak plus per-unit resident byte counts and
-        the unattached remainder (records created outside any read
-        callback) — the bookkeeping a developer needs when sizing
-        ``set_mem_space`` for a new workload.
-        """
-        with self._lock:
-            per_unit = {
-                unit.name: unit.resident_bytes
-                for unit in self._units.values()
-                if unit.resident_bytes
-            }
-            used = self._memory.used_bytes
-            return {
-                "budget_bytes": self._memory.budget_bytes,
-                "used_bytes": used,
-                "high_water_bytes": self._memory.high_water_bytes,
-                "per_unit_bytes": per_unit,
-                "unattached_bytes": used - sum(per_unit.values()),
-                "evictable_units": list(self._policy),
-            }
+    @property
+    def _memory(self) -> MemoryAccountant:
+        return self._mem.accountant  # byte accountant (MemoryManager)
 
-    # ==================================================================
-    # Internals
-    # ==================================================================
-    def _io_loop(self, worker_index: int) -> None:
-        """I/O worker main loop: drain the priority prefetch queue.
+    @property
+    def _policy(self) -> object:
+        return self._mem.policy  # eviction policy (MemoryManager)
 
-        Admission gate: no new load starts while a peer is blocked on
-        memory. Starting one anyway could only wedge further partial
-        charges into the full budget — and after a blocked peer's yield
-        (``_abort_loads``) it would re-grab the very bytes the rollback
-        freed for a waited-on load.
-        """
-        while True:
-            with self._cond:
-                while not self._closing and (
-                    not self._queue or self._io_blocked
-                ):
-                    self._cond.wait()
-                if self._closing:
-                    return
-                name = self._queue.pop()
-                unit = self._units.get(name)
-                if unit is None or unit.state is not UnitState.QUEUED:
-                    continue  # cancelled while queued
-                unit.state = UnitState.READING
-                unit.worker = worker_index
-                now = self._clock()
-                unit.read_started_at = now
-                if unit.enqueued_at is not None:
-                    unit.queue_seconds += now - unit.enqueued_at
-                read_callable = unit.read_fn
-            try:
-                self._run_read(name, read_callable, foreground=False,
-                               worker=worker_index)
-            except DatabaseClosedError:
-                return
+    @property
+    def _queue(self) -> object:
+        return self._io.queue  # pending-unit queue (IoScheduler)
 
-    def _run_read(self, name: str, read_fn: ReadFunction,
-                  foreground: bool, worker: Optional[int] = None) -> None:
-        """Invoke a read callback (lock NOT held) and settle unit state."""
-        if self._unit_event_hook is not None:
-            with self._lock:
-                self._emit("read_started", name)
-        self._load_ctx.unit_name = name
-        self._load_ctx.worker = worker
-        t0 = self._clock()
-        error: Optional[BaseException] = None
-        try:
-            read_fn(self, name)
-        except DatabaseClosedError:
-            raise
-        except BaseException as exc:
-            error = exc
-        finally:
-            self._load_ctx.unit_name = None
-            self._load_ctx.worker = None
-        elapsed = self._clock() - t0
+    @property
+    def _io_blocked(self) -> Dict[object, Tuple[int, Optional[str]]]:
+        return self._mem.io_blocked  # blocked workers (MemoryManager)
 
-        with self._cond:
-            self._abort_loads.discard(name)
-            unit = self._units.get(name)
-            if unit is None:
-                return
-            unit.read_seconds += elapsed
-            if foreground:
-                self.stats.foreground_read_seconds += elapsed
-            else:
-                self.stats.io_thread_read_seconds += elapsed
-                if worker is not None:
-                    ws = self._worker_stats[worker]
-                    ws.read_seconds += elapsed
-                    if error is None:
-                        ws.units_loaded += 1
-            if isinstance(error, _LoadYield):
-                # Roll back the partial load and put the unit back in the
-                # queue: its charges go to a waited-on load, and it will
-                # be re-read once memory frees up.
-                self._free_unit_records_locked(unit)
-                if unit.pending_delete:
-                    self._evict_locked(unit, deleting=True)
-                    self.stats.units_deleted += 1
-                else:
-                    unit.state = UnitState.QUEUED
-                    unit.finished = False
-                    unit.enqueued_at = self._clock()
-                    self._queue.push(name, priority=unit.priority)
-                self._cond.notify_all()
-                return
-            if error is not None:
-                self._free_unit_records_locked(unit)
-                unit.state = UnitState.FAILED
-                unit.error = error
-                self.stats.units_failed += 1
-                self._emit("failed", name)
-            else:
-                unit.loads += 1
-                if unit.loads > 1:
-                    self.stats.units_reloaded += 1
-                if foreground:
-                    self.stats.units_read_foreground += 1
-                else:
-                    self.stats.units_prefetched += 1
-                if unit.pending_delete:
-                    self._evict_locked(unit, deleting=True)
-                    self.stats.units_deleted += 1
-                else:
-                    unit.state = UnitState.RESIDENT
-                    unit.finished = False
-                    self._emit("loaded", name)
-            self._cond.notify_all()
-
-    def _free_unit_records_locked(self, unit: ProcessingUnit) -> None:
-        """Drop all of a unit's records and release their memory.
-
-        Lock held.
-        """
-        self._check_locked()
-        records = self._index.drop_unit(unit.name)
-        freed = 0
-        for record in records:
-            freed += record.release_all() + RECORD_OVERHEAD_BYTES
-        if freed:
-            self._memory.release(freed)
-            self.stats.bytes_released += freed
-        unit.resident_bytes = 0
-
-    def _evict_locked(self, unit: ProcessingUnit, deleting: bool) -> None:
-        """Whole-unit eviction: remove every record, release memory.
-
-        Lock held.
-        """
-        self._check_locked()
-        self._free_unit_records_locked(unit)
-        self._policy.remove(unit.name)
-        unit.finished = False
-        unit.ref_count = 0
-        if deleting:
-            unit.state = UnitState.DELETED
-            self._emit("deleted", unit.name)
-        else:
-            unit.state = UnitState.EVICTED
-            self.stats.evictions += 1
-            self._emit("evicted", unit.name)
-        self._cond.notify_all()
+    @property
+    def _abort_loads(self) -> set:
+        return self._mem.abort_loads  # load rollbacks (MemoryManager)

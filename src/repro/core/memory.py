@@ -12,6 +12,8 @@ database, which owns the lock.
 
 from __future__ import annotations
 
+from typing import Optional, Union
+
 from repro.errors import MemoryBudgetError
 
 #: Bytes charged per record for index bookkeeping (tree node, unit list
@@ -93,6 +95,26 @@ def parse_mem(value) -> int:
         f"memory budget must be a str, int, or float, "
         f"not {type(value).__name__}"
     )
+
+
+def parse_budget(
+    mem: Union[str, int, float, None],
+    mem_mb: Optional[float] = None,
+    mem_bytes: Optional[int] = None,
+) -> int:
+    """Resolve the GBO's one-of-three budget spellings to a byte count.
+
+    ``mem`` takes any :func:`parse_mem` spelling; ``mem_mb`` and
+    ``mem_bytes`` are the legacy keyword forms. Exactly one of the three
+    must be given, otherwise :class:`ValueError` is raised.
+    """
+    if sum(x is not None for x in (mem, mem_mb, mem_bytes)) != 1:
+        raise ValueError("specify exactly one of mem, mem_mb or mem_bytes")
+    if mem is not None:
+        return parse_mem(mem)
+    if mem_mb is not None:
+        return int(mem_mb * MB)
+    return int(mem_bytes)
 
 
 class MemoryAccountant:

@@ -1,0 +1,236 @@
+"""UnitStore — the unit-table layer of the GODIVA engine.
+
+Owns the table of :class:`~repro.core.units.ProcessingUnit` objects,
+their :class:`~repro.core.units.UnitState` machine, unit-level reference
+counts (section 3.3: "Reference counts are kept at the unit level"), and
+tracer/event emission. Everything here is mutated under the *engine*
+lock — the lock/condition pair injected by the facade and shared with
+:class:`~repro.core.memory_manager.MemoryManager` and
+:class:`~repro.core.io_scheduler.IoScheduler`; methods documented
+"Lock held." must be called with that lock held (enforced under
+``REPRO_ANALYSIS=1`` via :func:`make_held_checker`).
+
+Cross-layer flows that touch eviction (``delete``) or the prefetch
+queue (``delete``/``cancel``) call into the bound collaborators; the
+store itself never acquires any lock, so it composes under whichever
+lock domain its constructor receives.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.primitives import (
+    TrackedCondition,
+    TrackedLock,
+    analysis_enabled,
+    make_held_checker,
+)
+from repro.analysis.races import guarded_by
+from repro.core.stats import GodivaStats
+from repro.core.units import ProcessingUnit, ReadFunction, UnitState
+from repro.errors import UnitStateError, UnknownUnitError
+
+#: Unit states in which a name is considered *active* — re-adding an
+#: active unit is an error; terminal/evicted names may be resurrected.
+_ACTIVE_STATES = (UnitState.QUEUED, UnitState.READING, UnitState.RESIDENT)
+
+
+def _emit_nothing(event: str, unit_name: str) -> None:
+    """Instance-bound in place of :meth:`UnitStore.emit` when no hook is
+    configured (saves two call frames on every hot-path transition)."""
+    return None
+
+
+@guarded_by("_units", lock="_lock")
+class UnitStore:
+    """The unit table and state machine, guarded by the engine lock.
+
+    Parameters
+    ----------
+    lock, cond:
+        The engine lock/condition pair to share; when ``None`` a private
+        tracked pair is created (standalone use in tests).
+    stats:
+        The :class:`GodivaStats` sink for unit-traffic counters.
+    clock:
+        Monotonic-seconds callable for event timestamps.
+    unit_event_hook:
+        Optional ``hook(event, unit_name, now)`` observability callback,
+        invoked with the engine lock held.
+    """
+
+    def __init__(
+        self,
+        *,
+        lock: Optional[object] = None,
+        cond: Optional[object] = None,
+        stats: Optional[GodivaStats] = None,
+        clock: Callable[[], float] = time.monotonic,
+        unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
+    ) -> None:
+        if lock is None:
+            lock = TrackedLock(f"UnitStore._lock@{id(self):#x}")
+            cond = TrackedCondition(lock)
+        self._lock = lock
+        self._cond = cond
+        self._check_locked = make_held_checker(lock, "UnitStore helper")
+        self._clock = clock
+        self.stats = stats if stats is not None else GodivaStats()
+        self._unit_event_hook = unit_event_hook
+        if unit_event_hook is None and not analysis_enabled():
+            # Nothing observes transitions: short-circuit emit. Under
+            # analysis the real method stays so the "Lock held."
+            # contract in emit() is still exercised.
+            self.emit = _emit_nothing
+        self._units: Dict[str, ProcessingUnit] = {}
+        self._memory = None
+        self._scheduler = None
+
+    def bind(self, *, memory: object, scheduler: object) -> None:
+        """Wire the collaborating layers (memory manager, I/O scheduler)."""
+        self._memory = memory
+        self._scheduler = scheduler
+
+    # ------------------------------------------------------------------
+    # Table access (Lock held.)
+    # ------------------------------------------------------------------
+    @property
+    def units(self) -> Dict[str, ProcessingUnit]:
+        """The live name -> unit table (engine-lock discipline applies)."""
+        return self._units
+
+    @property
+    def hook(self) -> Optional[Callable[[str, str, float], None]]:
+        """The configured unit-event hook, or None."""
+        return self._unit_event_hook
+
+    def emit(self, event: str, unit_name: str) -> None:
+        """Fire the unit-event hook. Lock held."""
+        self._check_locked()
+        if self._unit_event_hook is not None:
+            self._unit_event_hook(event, unit_name, self._clock())
+
+    def get(self, name: str) -> Optional[ProcessingUnit]:
+        """The named unit, or None. Lock held."""
+        self._check_locked()
+        return self._units.get(name)
+
+    def require(self, name: str) -> ProcessingUnit:
+        """The named unit, or raise :class:`UnknownUnitError`. Lock held."""
+        self._check_locked()
+        unit = self._units.get(name)
+        if unit is None:
+            raise UnknownUnitError(f"unit {name!r} was never added")
+        return unit
+
+    def values(self) -> Iterable[ProcessingUnit]:
+        """All units, in insertion order. Lock held."""
+        self._check_locked()
+        return self._units.values()
+
+    def add(self, unit: ProcessingUnit) -> None:
+        """Insert (or replace) a unit in the table. Lock held."""
+        self._check_locked()
+        self._units[unit.name] = unit
+
+    def clear(self) -> None:
+        """Drop every unit (close path). Lock held."""
+        self._check_locked()
+        self._units.clear()
+
+    # ------------------------------------------------------------------
+    # State-machine flows (Lock held.)
+    # ------------------------------------------------------------------
+    def admit(self, name: str, read_fn: Optional[ReadFunction],
+              priority: float) -> ProcessingUnit:
+        """Create a fresh QUEUED unit under ``name``. Lock held.
+
+        Re-adding an active (queued/reading/resident) name raises
+        :class:`UnitStateError`; evicted/failed/deleted names are
+        resurrected with a brand-new unit.
+        """
+        self._check_locked()
+        unit = self._units.get(name)
+        if unit is not None and unit.state in _ACTIVE_STATES:
+            raise UnitStateError(
+                f"unit {name!r} is already {unit.state.value}"
+            )
+        unit = ProcessingUnit(name, read_fn, priority=priority)
+        self._units[name] = unit
+        self.stats.units_added += 1
+        return unit
+
+    def finish(self, name: str) -> None:
+        """Declare processing complete; evictable at zero refs. Lock held."""
+        self._check_locked()
+        unit = self.require(name)
+        if unit.state is not UnitState.RESIDENT:
+            raise UnitStateError(
+                f"cannot finish unit {name!r} in state "
+                f"{unit.state.value}"
+            )
+        unit.finished = True
+        if unit.ref_count > 0:
+            unit.ref_count -= 1
+        self.emit("finished", name)
+        if unit.evictable:
+            self._memory.make_evictable(name)
+
+    def delete(self, name: str) -> None:
+        """Delete the unit's records and free their memory. Lock held."""
+        self._check_locked()
+        unit = self.require(name)
+        if unit.state is UnitState.DELETED:
+            return  # idempotent
+        if unit.state is UnitState.QUEUED:
+            self._scheduler.remove_queued(name)
+            unit.state = UnitState.DELETED
+            self.stats.units_deleted += 1
+            self.emit("deleted", name)
+            return
+        if unit.state is UnitState.READING:
+            # The loader deletes it the moment the callback returns.
+            unit.pending_delete = True
+            return
+        if unit.state is UnitState.RESIDENT:
+            self._memory.evict(unit, deleting=True)
+        else:  # EVICTED or FAILED — nothing resident to free
+            unit.state = UnitState.DELETED
+            self.emit("deleted", name)
+        self.stats.units_deleted += 1
+        self._cond.notify_all()
+
+    def cancel(self, name: str) -> bool:
+        """Cancel a still-QUEUED prefetch; False otherwise. Lock held."""
+        self._check_locked()
+        unit = self.require(name)
+        if unit.state is not UnitState.QUEUED:
+            return False
+        self._scheduler.remove_queued(name)
+        unit.state = UnitState.DELETED
+        self.stats.units_cancelled += 1
+        self.emit("cancelled", name)
+        self._cond.notify_all()
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection (Lock held.)
+    # ------------------------------------------------------------------
+    def state_of(self, name: str) -> UnitState:
+        """The unit's lifecycle state. Lock held."""
+        return self.require(name).state
+
+    def priority_of(self, name: str) -> float:
+        """The unit's stored prefetch priority. Lock held."""
+        return self.require(name).priority
+
+    def resident_bytes_of(self, name: str) -> int:
+        """Bytes currently charged to the unit. Lock held."""
+        return self.require(name).resident_bytes
+
+    def list_units(self) -> List[Tuple[str, UnitState]]:
+        """(name, state) for every known unit. Lock held."""
+        self._check_locked()
+        return [(u.name, u.state) for u in self._units.values()]

@@ -163,6 +163,17 @@ class UnitHandle:
         """Cancel the prefetch if the read has not started yet."""
         return self._gbo.cancel_unit(self.name)
 
+    # -- context-manager protocol --------------------------------------
+    def __enter__(self) -> "UnitHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Scope the unit's residency: ``with gbo.unit(n).read():`` (or
+        # ``.wait()``) releases the reference on exit, even when the body
+        # raises. A unit the body already deleted needs no finish.
+        if self._gbo.unit_state(self.name) is not UnitState.DELETED:
+            self.finish()
+
     # -- introspection -------------------------------------------------
     @property
     def state(self) -> UnitState:

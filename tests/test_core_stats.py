@@ -37,3 +37,30 @@ def test_reset():
     stats.reset()
     assert stats.units_added == 0
     assert stats.wait_seconds == 0.0
+
+
+def test_snapshot_keys_track_dataclass_fields_exactly():
+    """Regression: adding a GodivaStats field must extend snapshot() too.
+
+    snapshot() iterates __dataclass_fields__, so every scalar field must
+    appear under its own name; wait_samples is deliberately summarized
+    into derived keys instead of copied raw.
+    """
+    stats = GodivaStats()
+    snap = stats.snapshot()
+    fields = set(stats.__dataclass_fields__)
+    expected_scalar = fields - {"wait_samples"}
+    derived = {
+        "visible_io_seconds",
+        "wait_count",
+        "wait_mean_seconds",
+        "wait_max_seconds",
+    }
+    assert expected_scalar <= set(snap), (
+        "snapshot() is missing dataclass fields: "
+        f"{sorted(expected_scalar - set(snap))}"
+    )
+    assert "wait_samples" not in snap
+    assert set(snap) == expected_scalar | derived, (
+        "snapshot() keys diverged from GodivaStats fields + derived keys"
+    )
