@@ -64,6 +64,53 @@ def test_bench_marching_tets(benchmark):
     assert soup.n_triangles > 500
 
 
+def test_bench_scalarize_magnitude(benchmark):
+    """Vector-magnitude reduction (einsum path) over a large field."""
+    from repro.viz.pipeline import scalarize
+
+    values = np.random.default_rng(3).random((200_000, 3))
+    scalars = benchmark(lambda: scalarize(values, "magnitude"))
+    assert scalars.shape == (200_000,)
+
+
+def test_bench_soup_concatenate(benchmark):
+    """TriangleSoup.concatenate (preallocated merge) over many blocks."""
+    from repro.viz.isosurface import TriangleSoup
+
+    rng = np.random.default_rng(4)
+    soups = [
+        TriangleSoup(rng.random((2_000, 3, 3)), rng.random((2_000, 3)))
+        for _ in range(16)
+    ]
+    merged = benchmark(lambda: TriangleSoup.concatenate(soups))
+    assert merged.n_triangles == 32_000
+
+
+def test_bench_boundary_faces(benchmark):
+    """Boundary-skin extraction — the kernel the derived cache memoizes
+    hardest (constant connectivity across the snapshot series)."""
+    from repro.viz.geometry import boundary_faces
+
+    mesh = structured_tet_block(12, 12, 12)
+    faces = benchmark(lambda: boundary_faces(mesh.tets))
+    assert len(faces) > 500
+
+
+def test_bench_derived_cache_hit(benchmark):
+    """DerivedCache lookup cost on the hit path (lock + policy touch)."""
+    from repro.core.derived import DerivedCache
+    from repro.core.memory_manager import MemoryManager
+
+    memory = MemoryManager(64 << 20)
+    cache = DerivedCache(memory)
+    memory.bind(units=None, release_records=lambda name: 0,
+                derived=cache)
+    payload = np.random.default_rng(5).random(10_000)
+    cache.put(("bench", "entry"), payload)
+    value = benchmark(lambda: cache.get(("bench", "entry")))
+    assert value is not None
+
+
 def test_bench_rasterizer(benchmark):
     mesh = structured_tet_block(8, 8, 8)
     radius = np.linalg.norm(mesh.nodes - 0.5, axis=1)

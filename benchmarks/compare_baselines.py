@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""CLI for the bench-regression guard.
+
+Compares the current benchmark artifacts in ``benchmarks/results/``
+against the committed snapshots in ``benchmarks/baselines/`` and exits
+non-zero on a >tolerance regression (see ``repro.bench.baseline`` for
+the calibration scheme). ``--update`` reseeds the baselines from the
+current results instead.
+
+Usage (from the repo root, after running the benches)::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_core_micro.py \
+        --benchmark-json benchmarks/results/benchmark_core_micro.json
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_derived_cache.py
+    PYTHONPATH=src python benchmarks/compare_baselines.py
+"""
+
+import argparse
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+
+from repro.bench.baseline import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    compare_all,
+    update_baselines,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="bench-regression guard vs committed baselines"
+    )
+    parser.add_argument(
+        "--results", default=os.path.join(HERE, "results"),
+        help="directory with current bench artifacts",
+    )
+    parser.add_argument(
+        "--baselines", default=os.path.join(HERE, "baselines"),
+        help="directory with committed baseline snapshots",
+    )
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get(
+            "REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE
+        )),
+        help="allowed fractional regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="reseed the baselines from the current results",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        written = update_baselines(args.results, args.baselines)
+        if not written:
+            print("no bench artifacts found to baseline", file=sys.stderr)
+            return 1
+        for path in written:
+            print(f"baseline written: {os.path.relpath(path)}")
+        return 0
+
+    failures = compare_all(args.results, args.baselines, args.tolerance)
+    if failures:
+        print(f"{len(failures)} bench regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench-regression guard: OK (within "
+          f"{args.tolerance:.0%} of baselines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -85,7 +85,19 @@ def check_invariants(gbo, raise_on_violation: bool = True) -> List[str]:
                     f"{unit.state.value} (expected queued)"
                 )
 
+        derived = getattr(gbo, "derived", None)
+        derived_names = set(
+            derived.entry_names_locked()
+        ) if derived is not None else set()
+
         for name in list(gbo._policy):
+            if derived is not None and derived.owns(name):
+                if name not in derived_names:
+                    problems.append(
+                        f"eviction policy holds unknown derived "
+                        f"entry {name!r}"
+                    )
+                continue
             unit = units.get(name)
             if unit is None:
                 problems.append(
@@ -98,6 +110,28 @@ def check_invariants(gbo, raise_on_violation: bool = True) -> List[str]:
                     f"{name!r} (state {unit.state.value}, "
                     f"refs {unit.ref_count}, "
                     f"finished {unit.finished})"
+                )
+
+        if derived is not None:
+            policy_names = set(gbo._policy)
+            cache_bytes = derived.resident_bytes_locked()
+            for name in derived_names:
+                if name not in policy_names:
+                    problems.append(
+                        f"derived entry {name!r} is cached but not "
+                        f"registered with the eviction policy"
+                    )
+            if cache_bytes != gbo.stats.derived_bytes:
+                problems.append(
+                    f"derived cache holds {cache_bytes} bytes but "
+                    f"stats.derived_bytes says "
+                    f"{gbo.stats.derived_bytes}"
+                )
+            if resident_total + cache_bytes > memory.used_bytes:
+                problems.append(
+                    f"units ({resident_total}) plus derived entries "
+                    f"({cache_bytes}) exceed the accountant's "
+                    f"{memory.used_bytes} charged bytes"
                 )
 
     if problems and raise_on_violation:

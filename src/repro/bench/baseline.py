@@ -1,0 +1,174 @@
+"""Bench-regression guard: compare current results to committed baselines.
+
+Seeds the bench trajectory: a snapshot of the micro-bench means and the
+derived-cache bench metrics lives in ``benchmarks/baselines/``, and CI
+fails when a current run regresses more than the tolerance (default
+25 %).
+
+Wall-clock seconds are not comparable across machines, so time metrics
+are compared *calibrated*: divided by :func:`calibration_seconds` (a
+fixed numpy workload timed on the same host). Ratio/count metrics —
+the derived cache's speedup and hit counts are deterministic functions
+of the workload — compare directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.bench.derived import calibration_seconds
+
+#: Default allowed fractional regression before the guard fails.
+DEFAULT_TOLERANCE = 0.25
+
+MICRO_BASELINE = "core_micro.json"
+DERIVED_BASELINE = "derived_cache.json"
+
+#: pytest-benchmark artifact name expected in the results directory.
+MICRO_RESULTS = "benchmark_core_micro.json"
+DERIVED_RESULTS = "BENCH_derived_cache.json"
+
+
+def _read_json(path: str) -> Optional[dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def distill_micro(benchmark_payload: dict) -> Dict[str, float]:
+    """pytest-benchmark JSON -> {test name: mean seconds}."""
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in benchmark_payload.get("benchmarks", [])
+    }
+
+
+def distill_derived(payload: dict) -> Dict[str, float]:
+    """BENCH_derived_cache.json -> the guarded scalar metrics."""
+    rows = {row["scenario"]: row for row in payload["scenarios"]}
+    return {
+        "speedup_compute": float(payload["speedup_compute"]),
+        "bit_identical": bool(payload["bit_identical"]),
+        "derived_hits_on": float(rows["cache_on"]["derived_hits"]),
+        "squeezed_evictions": float(
+            rows["squeezed"]["derived_evictions"]
+        ),
+        "compute_wall_on_s": float(rows["cache_on"]["compute_wall_s"]),
+        "calibration_s": float(payload["calibration_s"]),
+    }
+
+
+def update_baselines(results_dir: str, baselines_dir: str) -> List[str]:
+    """Rewrite the baselines from the current results; returns the
+    files written (skips artifacts that were not produced)."""
+    os.makedirs(baselines_dir, exist_ok=True)
+    written: List[str] = []
+    micro = _read_json(os.path.join(results_dir, MICRO_RESULTS))
+    if micro is not None:
+        path = os.path.join(baselines_dir, MICRO_BASELINE)
+        with open(path, "w") as f:
+            json.dump(
+                {
+                    "calibration_s": calibration_seconds(),
+                    "benches": distill_micro(micro),
+                },
+                f, indent=1, sort_keys=True,
+            )
+        written.append(path)
+    derived = _read_json(os.path.join(results_dir, DERIVED_RESULTS))
+    if derived is not None:
+        path = os.path.join(baselines_dir, DERIVED_BASELINE)
+        with open(path, "w") as f:
+            json.dump(distill_derived(derived), f, indent=1,
+                      sort_keys=True)
+        written.append(path)
+    return written
+
+
+def compare_micro(results_dir: str, baselines_dir: str,
+                  tolerance: float) -> List[str]:
+    """Calibrated-mean comparison of every baselined micro bench."""
+    baseline = _read_json(os.path.join(baselines_dir, MICRO_BASELINE))
+    current = _read_json(os.path.join(results_dir, MICRO_RESULTS))
+    if baseline is None:
+        return []
+    if current is None:
+        return [f"missing current micro results {MICRO_RESULTS!r} "
+                f"(run bench_core_micro with --benchmark-json)"]
+    failures: List[str] = []
+    calib_base = baseline["calibration_s"]
+    calib_now = calibration_seconds()
+    means_now = distill_micro(current)
+    for name, mean_base in sorted(baseline["benches"].items()):
+        mean_now = means_now.get(name)
+        if mean_now is None:
+            failures.append(
+                f"micro bench {name!r} is baselined but was not run "
+                f"(update the baseline if it was removed)"
+            )
+            continue
+        norm_base = mean_base / calib_base
+        norm_now = mean_now / calib_now
+        if norm_now > norm_base * (1.0 + tolerance):
+            failures.append(
+                f"micro bench {name!r} regressed: calibrated mean "
+                f"{norm_now:.3f} vs baseline {norm_base:.3f} "
+                f"(> +{tolerance:.0%})"
+            )
+    return failures
+
+
+def compare_derived(results_dir: str, baselines_dir: str,
+                    tolerance: float) -> List[str]:
+    """Derived-cache bench comparison (ratios/counts + calibrated
+    compute wall)."""
+    baseline = _read_json(os.path.join(baselines_dir, DERIVED_BASELINE))
+    current_payload = _read_json(
+        os.path.join(results_dir, DERIVED_RESULTS)
+    )
+    if baseline is None:
+        return []
+    if current_payload is None:
+        return [f"missing current results {DERIVED_RESULTS!r} "
+                f"(run bench_derived_cache)"]
+    current = distill_derived(current_payload)
+    failures: List[str] = []
+    if not current["bit_identical"]:
+        failures.append(
+            "derived cache no longer bit-identical to the uncached "
+            "pipeline"
+        )
+    if current["squeezed_evictions"] <= 0:
+        failures.append(
+            "squeezed-budget scenario no longer evicts cache entries"
+        )
+    for key in ("speedup_compute", "derived_hits_on"):
+        floor = baseline[key] * (1.0 - tolerance)
+        if current[key] < floor:
+            failures.append(
+                f"derived metric {key!r} regressed: {current[key]:.2f} "
+                f"vs baseline {baseline[key]:.2f} (> -{tolerance:.0%})"
+            )
+    norm_base = (
+        baseline["compute_wall_on_s"] / baseline["calibration_s"]
+    )
+    norm_now = current["compute_wall_on_s"] / current["calibration_s"]
+    if norm_now > norm_base * (1.0 + tolerance):
+        failures.append(
+            f"derived cache_on calibrated compute wall regressed: "
+            f"{norm_now:.2f} vs baseline {norm_base:.2f} "
+            f"(> +{tolerance:.0%})"
+        )
+    return failures
+
+
+def compare_all(results_dir: str, baselines_dir: str,
+                tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """All guards; returns the list of regression descriptions."""
+    return (
+        compare_micro(results_dir, baselines_dir, tolerance)
+        + compare_derived(results_dir, baselines_dir, tolerance)
+    )

@@ -1,0 +1,145 @@
+"""D1 — derived-data cache plane: revisit workload on/off/squeezed.
+
+The derived cache's claim is compute-side redundancy elimination: on a
+*revisit* workload (the same time-steps processed repeatedly — parameter
+sweeps, A/B comparisons, interactive scrubbing) the complex test's
+geometry kernels and composited frames should be served from the memo
+cache instead of recomputed, while a squeezed memory budget must evict
+cache bytes in favor of demand unit loads rather than wedging.
+
+Three scenarios over the identical schedule:
+
+* ``cache_on``   — generous budget, derived cache enabled;
+* ``cache_off``  — generous budget, derived cache disabled (baseline);
+* ``squeezed``   — derived cache enabled but the budget below the
+  working-set size, forcing entries (and units) to be evicted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gen.snapshot import DatasetManifest
+from repro.viz.voyager import Voyager, VoyagerConfig, VoyagerResult
+
+#: gbo_stats keys copied verbatim into each scenario row.
+_STAT_KEYS = (
+    "derived_hits", "derived_misses", "derived_evictions",
+    "derived_bytes", "evictions", "units_reloaded", "wait_hits",
+    "wait_misses",
+)
+
+
+def calibration_seconds(repeats: int = 3) -> float:
+    """Seconds for a fixed numpy workload on *this* machine.
+
+    Benchmark wall times divided by this number are comparable across
+    machines of the same class — the unit the baseline regression guard
+    compares in, so a committed baseline from one host does not fail CI
+    on a merely slower one.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.random((384, 384))
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        b = a @ a
+        np.linalg.norm(b, axis=1).sum()
+        np.sort(rng.random(200_000))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def revisit_schedule(unique_steps: int, passes: int) -> List[int]:
+    """The revisit schedule: ``unique_steps`` snapshots, ``passes``
+    sweeps over them in order (0,1,2,0,1,2,...)."""
+    return list(range(unique_steps)) * passes
+
+
+def unit_bytes_estimate(manifest: DatasetManifest) -> int:
+    """Approximate in-memory bytes of one snapshot unit (its file
+    sizes — field buffers dominate, record overhead is small)."""
+    return sum(
+        os.path.getsize(path) for path in manifest.snapshot_paths(0)
+    )
+
+
+def run_revisit(
+    manifest: DatasetManifest,
+    *,
+    derived_cache: bool,
+    mem_mb: float,
+    test: str = "complex",
+    unique_steps: int = 3,
+    passes: int = 3,
+    out_dir: Optional[str] = None,
+) -> VoyagerResult:
+    """One G-build Voyager pass over the revisit schedule."""
+    config = VoyagerConfig(
+        data_dir=manifest.directory,
+        test=test,
+        mode="G",
+        mem_mb=mem_mb,
+        derived_cache=derived_cache,
+        render=True,
+        out_dir=out_dir,
+        snapshot_indices=revisit_schedule(unique_steps, passes),
+    )
+    return Voyager(config).run()
+
+
+def scenario_row(scenario: str, mem_mb: float,
+                 result: VoyagerResult) -> Dict[str, float]:
+    """Flatten one run into a JSON-ready metrics row."""
+    row: Dict[str, float] = {
+        "scenario": scenario,
+        "mem_mb": mem_mb,
+        "n_snapshots": result.n_snapshots,
+        "total_wall_s": result.total_wall_s,
+        "visible_io_wall_s": result.visible_io_wall_s,
+        "compute_wall_s": result.compute_wall_s,
+        "triangles": result.triangles,
+        "bytes_read": result.bytes_read,
+    }
+    stats = result.gbo_stats or {}
+    for key in _STAT_KEYS:
+        row[key] = stats.get(key, 0)
+    return row
+
+
+def image_bytes(result: VoyagerResult) -> Dict[str, bytes]:
+    """Rendered output by file name (revisits overwrite in place, so
+    each name maps to the final visit's bytes)."""
+    payload: Dict[str, bytes] = {}
+    for path in result.images:
+        with open(path, "rb") as f:
+            payload[os.path.basename(path)] = f.read()
+    return payload
+
+
+def derived_cache_json(
+    results_dir: str,
+    rows: Sequence[Dict[str, float]],
+    *,
+    workload: Dict[str, object],
+    speedup_compute: float,
+    bit_identical: bool,
+) -> str:
+    """Write ``BENCH_derived_cache.json``; returns its path."""
+    payload = {
+        "experiment": "derived_cache",
+        "workload": dict(workload),
+        "calibration_s": calibration_seconds(),
+        "scenarios": list(rows),
+        "speedup_compute": speedup_compute,
+        "bit_identical": bit_identical,
+    }
+    path = os.path.join(results_dir, "BENCH_derived_cache.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+    return path

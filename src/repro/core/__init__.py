@@ -13,6 +13,12 @@ from repro.core.cache import (
 )
 from repro.core.database import GBO
 from repro.core.compat import PaperGBO, install_paper_aliases
+from repro.core.derived import (
+    DERIVED_PREFIX,
+    DerivedCache,
+    content_token,
+    nbytes_of,
+)
 from repro.core.index import normalize_key_values
 from repro.core.io_scheduler import IoScheduler
 from repro.core.memory_manager import LoadYield, MemoryManager
@@ -61,4 +67,8 @@ __all__ = [
     "MemoryManager",
     "IoScheduler",
     "LoadYield",
+    "DerivedCache",
+    "DERIVED_PREFIX",
+    "content_token",
+    "nbytes_of",
 ]

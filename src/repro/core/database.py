@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.analysis.primitives import TrackedCondition, TrackedLock
 from repro.analysis.races import guarded_by
+from repro.core.derived import DerivedCache
 from repro.core.io_scheduler import IoScheduler
 from repro.core.memory import MemoryAccountant, parse_budget
 from repro.core.memory_manager import LoadYield, MemoryManager
@@ -50,7 +51,9 @@ class GBO:
     ``mem``/``mem_mb``/``mem_bytes``: one-of-three budget spellings
     (:func:`repro.core.memory.parse_budget`); ``background_io=False``
     selects the single-thread *G* build; ``io_workers`` sizes the pool;
-    ``eviction_policy`` is ``'lru'``/``'fifo'``/``'mru'``; ``clock``
+    ``eviction_policy`` is ``'lru'``/``'fifo'``/``'mru'``;
+    ``derived_cache=False`` disables the budget-charged derived-data
+    memo cache (:attr:`derived`); ``clock``
     injects the monotonic-seconds source; ``unit_event_hook(event,
     unit_name, now)`` observes unit transitions under the engine lock
     (see :class:`repro.core.trace.UnitTracer`).
@@ -65,6 +68,7 @@ class GBO:
         background_io: bool = True,
         io_workers: int = 1,
         eviction_policy: str = "lru",
+        derived_cache: bool = True,
         clock: Callable[[], float] = time.monotonic,
         unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
     ):
@@ -85,10 +89,15 @@ class GBO:
                                   cond=self._cond, stats=self.stats, clock=clock)
         self._io = IoScheduler(lock=self._lock, cond=self._cond, stats=self.stats,
                                clock=clock, workers=io_workers if background_io else 0)
+        self._derived = (
+            DerivedCache(self._mem, lock=self._lock, cond=self._cond, stats=self.stats,
+                         clock=clock, event_hook=unit_event_hook)
+            if derived_cache else None
+        )
         self._store.bind(memory=self._mem, scheduler=self._io)
         self._mem.bind(units=self._store, scheduler=self._io,
                        release_records=self._records.drop_unit_records,
-                       closing=lambda: self._closing)
+                       closing=lambda: self._closing, derived=self._derived)
         self._io.bind(owner=self, units=self._store, memory=self._mem,
                       check_open=self._check_open, closing=lambda: self._closing)
         self._records.bind(charge=self._charge_bytes, release=self._release_bytes,
@@ -120,6 +129,16 @@ class GBO:
             self._mem.touch(unit_name)
 
     @property
+    def derived(self) -> Optional[DerivedCache]:
+        """The derived-data memo cache, or None when disabled.
+
+        Entries are charged to this GBO's memory budget and evicted by
+        its eviction policy alongside units; data backends use it to
+        memoize derived arrays (see ``repro.core.derived``).
+        """
+        return self._derived
+
+    @property
     def background_io(self) -> bool:
         """Whether a background I/O worker pool is running."""
         return bool(self._io.threads)
@@ -145,6 +164,8 @@ class GBO:
         self._records.begin_close()
         self._io.join()
         with self._cond:
+            if self._derived is not None:
+                self._derived.clear_locked()
             self._store.clear()
             self._io.clear_queue()
             self._mem.drain()

@@ -1,0 +1,373 @@
+"""DerivedCache — budget-charged memoization of derived data products.
+
+GODIVA eliminates redundant *reads* by keeping source buffers resident;
+this module applies the same idea to redundant *compute*: derived arrays
+(boundary skins, element-to-node scatters, magnitude fields, extracted
+geometry, even composited frames) are memoized under content-addressed
+keys so repeated graphics operations and repeated time-steps reuse them
+instead of re-deriving them (SAVIME and DIVA make the same argument for
+keeping analysis products inside the data-management layer).
+
+The cache is *not* a second memory pool: every entry is charged to the
+same :class:`~repro.core.memory_manager.MemoryManager` budget as unit
+records and registered with the same pluggable
+:class:`~repro.core.cache.EvictionPolicy`, so units and derived entries
+compete fairly under the paper's single ``setMemSpace`` budget. When a
+demand load needs bytes, the ordinary eviction loop reclaims cache
+entries (and idle units) before the deadlock detector is ever consulted.
+
+All cache state is mutated under the *engine* lock (the facade-injected
+lock/condition pair shared with the unit store, memory manager, and I/O
+scheduler); methods documented "Lock held." must be called with it held
+(checked under ``REPRO_ANALYSIS=1``). Compute callables and content
+hashing run **without** the lock, so a slow kernel never stalls the I/O
+workers.
+
+Entry values are frozen (``writeable=False``) before insertion: callers
+receive shared arrays, and sharing is only safe because nobody can
+mutate them — the zero-copy contract the read path mirrors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import time
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.primitives import make_held_checker
+from repro.analysis.races import guarded_by
+from repro.errors import MemoryBudgetError
+
+#: Namespace prefix separating derived-entry names from unit names in
+#: the shared eviction policy. Unit names starting with this prefix are
+#: reserved.
+DERIVED_PREFIX = "derived::"
+
+#: Entries above this fraction of the total budget are never cached —
+#: one memo must not evict the whole working set.
+MAX_ENTRY_BUDGET_FRACTION = 0.5
+
+#: Cap on the content-token memo table (identity -> digest); tokens are
+#: tiny, the cap only bounds pathological key churn.
+MAX_TOKENS = 65536
+
+
+def content_token(array: np.ndarray) -> str:
+    """A content fingerprint of an array: dtype, shape, and byte digest.
+
+    Two arrays share a token iff they are bit-identical with the same
+    dtype and shape — the property that makes cross-time-step reuse of
+    constant mesh data safe (a 16-byte blake2b collision is negligible).
+    """
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(array, digest_size=16).hexdigest()
+    return f"{array.dtype.str}{array.shape}{digest}"
+
+
+def nbytes_of(value: Any) -> int:
+    """Budget-accounting size of a cacheable value.
+
+    Arrays count their payload; containers sum their elements plus a
+    small overhead constant; objects may expose ``cache_nbytes()``;
+    anything else falls back to :func:`sys.getsizeof`.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(nbytes_of(item) for item in value) + 64
+    hook = getattr(value, "cache_nbytes", None)
+    if hook is not None:
+        return int(hook())
+    return int(sys.getsizeof(value))
+
+
+def freeze_value(value: Any) -> Any:
+    """Mark a value's arrays read-only so cached results can be shared.
+
+    Recurses into tuples/lists; objects may expose ``cache_freeze()``.
+    Returns the (mutated in place) value for chaining.
+    """
+    if isinstance(value, np.ndarray):
+        value.flags.writeable = False
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            freeze_value(item)
+    else:
+        hook = getattr(value, "cache_freeze", None)
+        if hook is not None:
+            hook()
+    return value
+
+
+def _canon(part: Any) -> str:
+    """Deterministic string form of one key part."""
+    if isinstance(part, str):
+        return part
+    if isinstance(part, bytes):
+        return part.hex()
+    if isinstance(part, float):
+        return repr(part)
+    if isinstance(part, (tuple, list)):
+        return "(" + ",".join(_canon(p) for p in part) + ")"
+    return str(part)
+
+
+def canonical_key(key: Any) -> str:
+    """Collapse a tuple key into the flat string the policy tracks."""
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (tuple, list)):
+        return "|".join(_canon(part) for part in key)
+    return _canon(key)
+
+
+class _Entry:
+    """One cached derived value and its accounting size."""
+
+    __slots__ = ("value", "nbytes")
+
+    def __init__(self, value: Any, nbytes: int) -> None:
+        self.value = value
+        self.nbytes = nbytes
+
+
+@guarded_by("_entries", "_tokens", lock="_lock")
+class DerivedCache:
+    """Key-addressed memo cache charged to the engine memory budget.
+
+    Parameters
+    ----------
+    memory:
+        The :class:`MemoryManager` whose budget and eviction policy the
+        cache shares. The manager must be told about the cache with
+        ``bind(derived=...)`` so its eviction loop can reclaim entries.
+    lock, cond:
+        The engine lock/condition pair to share with ``memory``; when
+        ``None`` the manager's own pair is adopted, so a standalone
+        ``DerivedCache(MemoryManager(...))`` is correctly synchronized
+        out of the box.
+    stats:
+        The :class:`~repro.core.stats.GodivaStats` sink for the
+        ``derived_*`` counters; defaults to the manager's sink.
+    clock:
+        Monotonic-seconds callable for event timestamps.
+    event_hook:
+        Optional ``hook(event, name, now)`` observability callback
+        (the GBO wires its ``unit_event_hook``), invoked with the
+        engine lock held; events are ``derived_cached`` /
+        ``derived_hit`` / ``derived_evicted``.
+    """
+
+    def __init__(
+        self,
+        memory: object,
+        *,
+        lock: Optional[object] = None,
+        cond: Optional[object] = None,
+        stats: Optional[object] = None,
+        clock: Callable[[], float] = time.monotonic,
+        event_hook: Optional[Callable[[str, str, float], None]] = None,
+    ) -> None:
+        if lock is None:
+            lock = memory.lock
+            cond = memory.cond
+        self._lock = lock
+        self._cond = cond
+        self._check_locked = make_held_checker(lock, "DerivedCache helper")
+        self._clock = clock
+        self._memory = memory
+        self.stats = stats if stats is not None else memory.stats
+        self._event_hook = event_hook
+        self._entries: Dict[str, _Entry] = {}
+        #: Identity -> content-token memo (FIFO-capped side table; the
+        #: few dozen bytes per token are not worth budget accounting).
+        self._tokens: Dict[Hashable, str] = {}
+
+    # ------------------------------------------------------------------
+    # Policy-name ownership
+    # ------------------------------------------------------------------
+    @staticmethod
+    def owns(policy_name: str) -> bool:
+        """Whether an eviction-policy name denotes a derived entry."""
+        return policy_name.startswith(DERIVED_PREFIX)
+
+    @staticmethod
+    def policy_name(key: Any) -> str:
+        """The eviction-policy name under which a key is registered."""
+        return DERIVED_PREFIX + canonical_key(key)
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached value for ``key``, or None (counts a hit/miss)."""
+        name = self.policy_name(key)
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                self.stats.derived_misses += 1
+                return None
+            self.stats.derived_hits += 1
+            self._memory.policy.touch(name)
+            self._emit("derived_hit", name)
+            return entry.value
+
+    def put(self, key: Any, value: Any,
+            nbytes: Optional[int] = None) -> Any:
+        """Insert a computed value, charging the shared memory budget.
+
+        The value is frozen (arrays become read-only) whether or not it
+        is cached. Returns the value to use: the existing entry when a
+        concurrent compute already landed one, the caller's value
+        otherwise. Values that do not fit the budget even after
+        eviction — or exceed ``MAX_ENTRY_BUDGET_FRACTION`` of it — are
+        returned uncached; memoization must never wedge real loads.
+        """
+        if value is None:
+            raise ValueError("derived cache values must not be None")
+        freeze_value(value)
+        if nbytes is None:
+            nbytes = nbytes_of(value)
+        name = self.policy_name(key)
+        with self._cond:
+            existing = self._entries.get(name)
+            if existing is not None:
+                return existing.value
+            budget = self._memory.accountant.budget_bytes
+            if nbytes > budget * MAX_ENTRY_BUDGET_FRACTION:
+                return value
+            try:
+                self._memory.charge(nbytes)
+            except MemoryBudgetError:
+                return value
+            self._entries[name] = _Entry(value, nbytes)
+            self._memory.policy.add(name)
+            self.stats.derived_bytes += nbytes
+            self._emit("derived_cached", name)
+            return value
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any],
+                       nbytes: Optional[int] = None) -> Any:
+        """Memoized call: return the cached value or compute and cache.
+
+        ``compute`` runs **without** the engine lock; two threads racing
+        on the same key may both compute, in which case the first insert
+        wins and both receive the same (frozen) value.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        return self.put(key, compute(), nbytes=nbytes)
+
+    def invalidate(self, key: Any) -> bool:
+        """Drop one entry, returning its bytes to the budget."""
+        name = self.policy_name(key)
+        with self._cond:
+            if name not in self._entries:
+                return False
+            self._memory.policy.remove(name)
+            self.evict_locked(name)
+            self._cond.notify_all()
+            return True
+
+    # ------------------------------------------------------------------
+    # Content tokens
+    # ------------------------------------------------------------------
+    def token(self, identity: Hashable,
+              array_provider: Callable[[], np.ndarray]) -> str:
+        """Memoized content token for the array behind ``identity``.
+
+        ``identity`` names *where* the array came from (record type,
+        field, key values); the token says *what bits it holds*. Data
+        backends key derived entries by token, which is what lets a
+        mesh that is constant across the snapshot series share one
+        cached boundary skin. Hashing runs without the lock.
+        """
+        with self._lock:
+            tok = self._tokens.get(identity)
+        if tok is not None:
+            return tok
+        tok = content_token(array_provider())
+        with self._lock:
+            while len(self._tokens) >= MAX_TOKENS:
+                self._tokens.pop(next(iter(self._tokens)))
+            self._tokens[identity] = tok
+        return tok
+
+    # ------------------------------------------------------------------
+    # Eviction-side interface (MemoryManager calls these)
+    # ------------------------------------------------------------------
+    def evict_locked(self, name: str) -> int:
+        """Drop the named entry and return its bytes. Lock held.
+
+        Called by the memory manager's eviction loop after the policy
+        chose ``name`` as victim (the policy no longer tracks it).
+        """
+        self._check_locked()
+        entry = self._entries.pop(name)
+        self._memory.release(entry.nbytes, None)
+        self.stats.derived_bytes -= entry.nbytes
+        self.stats.derived_evictions += 1
+        self._emit("derived_evicted", name)
+        return entry.nbytes
+
+    def clear_locked(self) -> int:
+        """Drop every entry and token (close path). Lock held."""
+        self._check_locked()
+        freed = 0
+        for name in list(self._entries):
+            self._memory.policy.remove(name)
+            freed += self.evict_locked(name)
+        self._tokens.clear()
+        return freed
+
+    def clear(self) -> int:
+        """Drop every entry and token; returns the bytes freed."""
+        with self._cond:
+            freed = self.clear_locked()
+            self._cond.notify_all()
+            return freed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resident_bytes_locked(self) -> int:
+        """Bytes currently charged to cache entries. Lock held."""
+        self._check_locked()
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently charged to cache entries."""
+        with self._lock:
+            return self.resident_bytes_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return self.policy_name(key) in self._entries
+
+    def entry_names_locked(self) -> List[str]:
+        """Policy names of every live entry. Lock held."""
+        self._check_locked()
+        return list(self._entries)
+
+    def report(self) -> List[Tuple[str, int]]:
+        """(policy name, nbytes) per entry, insertion-ordered."""
+        with self._lock:
+            return [
+                (name, entry.nbytes)
+                for name, entry in self._entries.items()
+            ]
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, name: str) -> None:
+        """Fire the observability hook. Lock held."""
+        if self._event_hook is not None:
+            self._event_hook(event, name, self._clock())

@@ -103,6 +103,7 @@ class MemoryManager:
         self._abort_loads: set = set()
         self._units = None
         self._scheduler = None
+        self._derived = None
         self._release_records: Callable[[str], int] = lambda name: 0
         self._closing: Callable[[], bool] = lambda: False
 
@@ -113,23 +114,41 @@ class MemoryManager:
         release_records: Callable[[str], int],
         scheduler: Optional[object] = None,
         closing: Optional[Callable[[], bool]] = None,
+        derived: Optional[object] = None,
     ) -> None:
         """Wire the collaborating layers and seams.
 
         ``release_records(unit_name)`` drops every record of a unit and
         returns the bytes freed (the record layer's
         ``drop_unit_records``); ``closing()`` reports whether the
-        database has begun shutting down (read with the lock held).
+        database has begun shutting down (read with the lock held);
+        ``derived`` is the optional
+        :class:`~repro.core.derived.DerivedCache` whose entries share
+        this manager's budget and eviction policy.
         """
         self._units = units
         self._scheduler = scheduler
         self._release_records = release_records
         if closing is not None:
             self._closing = closing
+        if derived is not None:
+            self._derived = derived
 
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
+    @property
+    def lock(self) -> object:
+        """The engine lock this manager synchronizes on (shared or
+        private); collaborators like :class:`DerivedCache` default to
+        it."""
+        return self._lock
+
+    @property
+    def cond(self) -> object:
+        """The engine condition paired with :attr:`lock`."""
+        return self._cond
+
     @property
     def accountant(self) -> MemoryAccountant:
         """The underlying accountant (engine-lock discipline applies)."""
@@ -197,9 +216,7 @@ class MemoryManager:
             scheduler is not None and scheduler.is_io_thread(thread)
         )
         while not self._accountant.fits(nbytes):
-            victim = self._policy.victim()
-            if victim is not None:
-                self.evict(self._units.require(victim), deleting=False)
+            if self.evict_next_victim():
                 continue
             if on_io_thread:
                 loading = scheduler.current_load_unit()
@@ -258,15 +275,33 @@ class MemoryManager:
         self._check_locked()
         self._accountant.set_budget(budget)
         while self._accountant.used_bytes > budget:
-            victim = self._policy.victim()
-            if victim is None:
+            if not self.evict_next_victim():
                 break
-            self.evict(self._units.require(victim), deleting=False)
         self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
+    def evict_next_victim(self) -> bool:
+        """Evict the policy's next victim, whatever kind it is. Lock held.
+
+        Dispatches on the victim's namespace: ``derived::`` names free a
+        derived-cache entry, everything else a whole unit. Because the
+        policy interleaves units and cache entries in one recency order,
+        demand loads reclaim cache bytes through this same path before
+        the deadlock detector is ever consulted. Returns False when the
+        policy is empty.
+        """
+        self._check_locked()
+        victim = self._policy.victim()
+        if victim is None:
+            return False
+        if self._derived is not None and self._derived.owns(victim):
+            self._derived.evict_locked(victim)
+        else:
+            self.evict(self._units.require(victim), deleting=False)
+        return True
+
     def make_evictable(self, name: str) -> None:
         """Hand a finished, unreferenced unit to the policy. Lock held."""
         self._check_locked()
@@ -374,12 +409,19 @@ class MemoryManager:
             if unit.resident_bytes
         }
         used = self._accountant.used_bytes
+        derived_bytes = (
+            self._derived.resident_bytes_locked()
+            if self._derived is not None else 0
+        )
         return {
             "budget_bytes": self._accountant.budget_bytes,
             "used_bytes": used,
             "high_water_bytes": self._accountant.high_water_bytes,
             "per_unit_bytes": per_unit,
-            "unattached_bytes": used - sum(per_unit.values()),
+            "derived_bytes": derived_bytes,
+            "unattached_bytes": (
+                used - sum(per_unit.values()) - derived_bytes
+            ),
             "evictable_units": list(self._policy),
         }
 

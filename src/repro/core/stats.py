@@ -43,6 +43,12 @@ class GodivaStats:
     wait_hits: int = 0     # wait_unit found the unit already resident
     wait_misses: int = 0   # wait_unit had to block (or trigger a reload)
 
+    # --- derived-data cache ------------------------------------------
+    derived_hits: int = 0        # memoized derived values served
+    derived_misses: int = 0      # lookups that had to (re)compute
+    derived_evictions: int = 0   # entries reclaimed for the budget
+    derived_bytes: int = 0       # gauge: bytes currently cached
+
     # --- prefetch queue ----------------------------------------------
     queue_depth_peak: int = 0   # most units ever pending at once
     wait_boosts: int = 0        # waited-on units promoted to the front

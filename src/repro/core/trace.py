@@ -26,8 +26,11 @@ from repro.analysis.primitives import TrackedLock
 #: Every event the GBO emits, in lifecycle order. ``boosted`` fires when
 #: ``wait_unit`` promotes a queued unit to the front of the prefetch
 #: queue; ``cancelled`` when ``cancel_unit`` removes one before its read.
+#: The ``derived_*`` events trace the derived-data cache plane (the
+#: "unit name" is the entry's ``derived::``-prefixed policy name).
 EVENTS = ("added", "boosted", "read_started", "loaded", "finished",
-          "evicted", "deleted", "failed", "cancelled")
+          "evicted", "deleted", "failed", "cancelled",
+          "derived_cached", "derived_hit", "derived_evicted")
 
 
 @dataclass

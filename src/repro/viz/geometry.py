@@ -8,6 +8,8 @@ centroids while marching tetrahedra needs node values).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 # The four faces of a tet (local vertex indices), wound outward for a
@@ -58,13 +60,30 @@ def triangle_areas(vertices: np.ndarray) -> np.ndarray:
     return 0.5 * np.linalg.norm(np.cross(edge1, edge2), axis=1)
 
 
+def node_tet_counts(n_nodes: int, tets: np.ndarray) -> np.ndarray:
+    """Per-node incidence degree: how many tets touch each node.
+
+    A pure function of connectivity — the per-block mesh adjacency the
+    derived-data cache memoizes separately, since the same counts divide
+    every element-to-node scatter regardless of which field is averaged.
+    Returns float64 so it can be used directly as a divisor.
+    """
+    tets = np.asarray(tets)
+    return np.bincount(
+        tets.ravel(), minlength=n_nodes
+    ).astype(np.float64)
+
+
 def element_to_node(n_nodes: int, tets: np.ndarray,
-                    elem_values: np.ndarray) -> np.ndarray:
+                    elem_values: np.ndarray,
+                    counts: Optional[np.ndarray] = None) -> np.ndarray:
     """Average element-based values onto nodes.
 
     Each node receives the mean of the values of all tets containing it —
     the standard cell-to-point conversion visualization toolkits apply
-    before contouring cell data.
+    before contouring cell data. ``counts`` may supply precomputed
+    :func:`node_tet_counts` (possibly a shared read-only cached array —
+    this function never mutates it).
     """
     tets = np.asarray(tets)
     elem_values = np.asarray(elem_values, dtype=np.float64)
@@ -72,10 +91,11 @@ def element_to_node(n_nodes: int, tets: np.ndarray,
         raise ValueError(
             f"{len(elem_values)} element values for {len(tets)} tets"
         )
-    sums = np.zeros(n_nodes)
-    counts = np.zeros(n_nodes)
-    for col in range(4):
-        np.add.at(sums, tets[:, col], elem_values)
-        np.add.at(counts, tets[:, col], 1.0)
-    counts[counts == 0] = 1.0
-    return sums / counts
+    sums = np.bincount(
+        tets.ravel(),
+        weights=np.repeat(elem_values, 4),
+        minlength=n_nodes,
+    )
+    if counts is None:
+        counts = node_tet_counts(n_nodes, tets)
+    return sums / np.maximum(counts, 1.0)

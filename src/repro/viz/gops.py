@@ -111,8 +111,23 @@ class GraphicsOps:
         return list(seen)
 
     def save(self, path: str) -> None:
-        with open(os.fspath(path), "w") as f:
-            json.dump([op.to_json() for op in self.ops], f, indent=1)
+        """Write the op list as JSON, atomically.
+
+        The document lands via a same-directory temp file and
+        ``os.replace`` so a crash mid-write can never leave a torn
+        half-JSON at ``path`` — readers see the old file or the new one.
+        """
+        path = os.fspath(path)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w") as f:
+                json.dump([op.to_json() for op in self.ops], f, indent=1)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
 
     @classmethod
     def load(cls, path: str) -> "GraphicsOps":

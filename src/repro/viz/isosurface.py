@@ -23,6 +23,10 @@ _EDGES = np.array(
     [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], dtype=np.int64
 )
 
+# Bit weights turning the (m, 4) inside-flags into sign-case masks with
+# one matmul (vertex i inside -> bit i).
+_MASK_WEIGHTS = np.array([1, 2, 4, 8], dtype=np.int8)
+
 # mask (bit i set = vertex i inside) -> list of triangles, each a triple
 # of edge indices into _EDGES. Complementary masks reuse the same cut
 # edges with reversed winding.
@@ -79,10 +83,28 @@ class TriangleSoup:
         soups = [s for s in soups if s.n_triangles]
         if not soups:
             return cls.empty()
-        return cls(
-            np.concatenate([s.vertices for s in soups]),
-            np.concatenate([s.values for s in soups]),
-        )
+        if len(soups) == 1:
+            return soups[0]
+        total = sum(s.n_triangles for s in soups)
+        vertices = np.empty((total, 3, 3))
+        values = np.empty((total, 3))
+        offset = 0
+        for soup in soups:
+            end = offset + soup.n_triangles
+            vertices[offset:end] = soup.vertices
+            values[offset:end] = soup.values
+            offset = end
+        return cls(vertices, values)
+
+    def cache_nbytes(self) -> int:
+        """Budget-accounting size for the derived-data cache."""
+        return int(self.vertices.nbytes + self.values.nbytes)
+
+    def cache_freeze(self) -> "TriangleSoup":
+        """Make the arrays read-only so the soup can be shared."""
+        self.vertices.flags.writeable = False
+        self.values.flags.writeable = False
+        return self
 
 
 def marching_tets(
@@ -117,12 +139,7 @@ def marching_tets(
 
     tet_values = level_values[tets]                       # (m, 4)
     inside = tet_values >= isovalue
-    masks = (
-        inside[:, 0].astype(np.int8)
-        | (inside[:, 1] << 1)
-        | (inside[:, 2] << 2)
-        | (inside[:, 3] << 3)
-    )
+    masks = inside.astype(np.int8) @ _MASK_WEIGHTS        # (m,)
 
     pieces: List[TriangleSoup] = []
     for mask, triangles in _CASES.items():

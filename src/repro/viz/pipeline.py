@@ -9,6 +9,7 @@ while the GODIVA builds query buffers that were read once (section 4.2).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -17,7 +18,11 @@ import numpy as np
 from repro.gen.quantities import ELEMENT_FIELDS, NODE_FIELDS
 from repro.viz.camera import Camera
 from repro.viz.colormap import Colormap
-from repro.viz.geometry import boundary_faces, element_to_node
+from repro.viz.geometry import (
+    boundary_faces,
+    element_to_node,
+    node_tet_counts,
+)
 from repro.viz.gops import GraphicsOp, GraphicsOps
 from repro.viz.isosurface import TriangleSoup, marching_tets
 from repro.viz.render import Renderer
@@ -35,6 +40,24 @@ class SnapshotData:
         — so it needs to know about op boundaries; GODIVA-backed data
         ignores this.
         """
+
+    def derived_cache(self) -> Optional[object]:
+        """The :class:`~repro.core.derived.DerivedCache` to memoize
+        derived arrays in, or None (the default) to disable memoization.
+        """
+        return None
+
+    def derived_token(self, block_id: str,
+                      name: str) -> Optional[str]:
+        """Content token of a source array (``'coords'``/``'conn'``/a
+        field name), or None when unknown — any None token disables
+        caching for the lookups that would need it. Tokens must change
+        whenever the array's bits change; content-hash tokens (see
+        :func:`repro.core.derived.content_token`) additionally let
+        identical arrays — e.g. a mesh constant across time-steps —
+        share cache entries.
+        """
+        return None
 
     def block_ids(self) -> List[str]:
         raise NotImplementedError
@@ -76,7 +99,11 @@ def scalarize(values: np.ndarray, component: Optional[str]) -> np.ndarray:
     if values.ndim == 1:
         return values
     if component in (None, "magnitude"):
-        return np.linalg.norm(values, axis=1)
+        # einsum accumulates the squared norm in one pass — no (n, 3)
+        # abs/square temporary the way linalg.norm spells it.
+        return np.sqrt(
+            np.einsum("ij,ij->i", values, values, dtype=np.float64)
+        )
     index = {"x": 0, "y": 1, "z": 2}[component]
     return values[:, index]
 
@@ -108,7 +135,24 @@ class Pipeline:
         The op-major / block-minor loop order matters: it is what makes
         the original Voyager's per-op mesh reads *re-reads* (the GODIVA
         builds are insensitive to the order since buffers are resident).
+
+        When the data backend exposes a derived cache and content tokens
+        for every source array, the whole composited frame is memoized:
+        revisiting a time-step whose bits have not changed re-renders
+        nothing (the memo is keyed by op list, camera, and the tokens,
+        so any change to inputs or view recomputes).
         """
+        frame_key = self._frame_key(data)
+        cache = data.derived_cache() if frame_key is not None else None
+        if cache is not None:
+            cached = cache.get(frame_key)
+            if cached is not None:
+                image, op_triangles = cached
+                return PipelineResult(
+                    image=image,
+                    triangles=sum(op_triangles),
+                    op_triangles=list(op_triangles),
+                )
         renderer = Renderer(self.camera) if self.render else None
         op_triangles: List[int] = []
         total = 0
@@ -124,9 +168,38 @@ class Pipeline:
         if renderer is not None and self.colorbar:
             renderer.draw_colorbar(Colormap(self.gops.ops[0].colormap))
         image = renderer.image() if renderer is not None else None
+        if cache is not None:
+            cache.put(frame_key, (image, tuple(op_triangles)))
         return PipelineResult(
             image=image, triangles=total, op_triangles=op_triangles
         )
+
+    def _frame_key(self, data: SnapshotData) -> Optional[tuple]:
+        """Cache key covering everything the composited frame depends
+        on: the full op list (including color mapping), the camera, the
+        render/colorbar flags, and a content token per source array of
+        every block. None (= no frame caching) when the backend has no
+        cache or any token is unknown."""
+        if data.derived_cache() is None:
+            return None
+        fields = sorted(self.gops.fields_used())
+        tokens: List[str] = []
+        for block_id in data.block_ids():
+            for name in ("coords", "conn", *fields):
+                token = data.derived_token(block_id, name)
+                if token is None:
+                    return None
+                tokens.append(token)
+        cam = self.camera
+        camera_sig = (
+            tuple(cam.position), tuple(cam.look_at), tuple(cam.up),
+            cam.fov_deg, cam.width, cam.height, cam.near,
+        )
+        ops_sig = json.dumps(
+            [op.to_json() for op in self.gops.ops], sort_keys=True
+        )
+        return ("frame", ops_sig, camera_sig, self.render,
+                self.colorbar, tuple(tokens))
 
     def extract(self, data: SnapshotData,
                 op: GraphicsOp) -> TriangleSoup:
@@ -141,18 +214,68 @@ class Pipeline:
 
     def _extract(self, data: SnapshotData, block_id: str,
                  op: GraphicsOp) -> TriangleSoup:
-        """One op over one block -> triangle soup with color scalars."""
+        """One op over one block -> triangle soup with color scalars.
+
+        With a derived cache available the whole per-(op, block) soup is
+        memoized under the op's geometry parameters plus the source
+        arrays' content tokens; the recompute path additionally memoizes
+        its inner kernels (magnitude scalarization, node incidence
+        counts, element-to-node scatter, boundary skin), which is where
+        ops *within* one frame share work — the complex test's five
+        stacked isosurfaces scatter the same stress field once.
+        """
+        cache = data.derived_cache()
+        if cache is not None:
+            coords_tok = data.derived_token(block_id, "coords")
+            conn_tok = data.derived_token(block_id, "conn")
+            field_tok = data.derived_token(block_id, op.field)
+            if None not in (coords_tok, conn_tok, field_tok):
+                key = (
+                    "soup", op.kind, op.field, op.component,
+                    op.isovalue, op.origin, op.normal,
+                    coords_tok, conn_tok, field_tok,
+                )
+                return cache.get_or_compute(key, lambda: self._derive(
+                    data, block_id, op,
+                    cache=cache, conn_tok=conn_tok, field_tok=field_tok,
+                ))
+        return self._derive(data, block_id, op)
+
+    def _derive(self, data: SnapshotData, block_id: str, op: GraphicsOp,
+                cache: Optional[object] = None,
+                conn_tok: Optional[str] = None,
+                field_tok: Optional[str] = None) -> TriangleSoup:
+        """The uncached extraction kernels (memoized individually when a
+        cache and the source tokens are supplied)."""
         nodes = data.coords(block_id)
         tets = data.connectivity(block_id)
         raw = data.field(block_id, op.field)
-        scalars = scalarize(raw, op.component)
+
+        def memo(key, compute):
+            if cache is None:
+                return compute()
+            return cache.get_or_compute(key, compute)
+
+        if raw.ndim == 2 and op.component in (None, "magnitude"):
+            scalars = memo(("mag", field_tok),
+                           lambda: scalarize(raw, op.component))
+        else:
+            scalars = scalarize(raw, op.component)
         if is_element_field(op.field):
-            node_scalars = element_to_node(len(nodes), tets, scalars)
+            counts = memo(("adj", conn_tok, len(nodes)),
+                          lambda: node_tet_counts(len(nodes), tets))
+            node_scalars = memo(
+                ("e2n", conn_tok, field_tok, op.component, len(nodes)),
+                lambda: element_to_node(
+                    len(nodes), tets, scalars, counts=counts
+                ),
+            )
         else:
             node_scalars = scalars
 
         if op.kind == "boundary":
-            faces = boundary_faces(tets)
+            faces = memo(("bfaces", conn_tok),
+                         lambda: boundary_faces(tets))
             if not len(faces):
                 return TriangleSoup.empty()
             return TriangleSoup(nodes[faces], node_scalars[faces])

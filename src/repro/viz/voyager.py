@@ -60,6 +60,9 @@ class VoyagerConfig:
     #: Background I/O worker pool size for the TG mode; 1 is the paper's
     #: single prefetch thread.
     io_workers: int = 1
+    #: Memoize derived arrays/frames in the GBO's budget-charged derived
+    #: cache (G/TG modes only; the O build has no cache plane).
+    derived_cache: bool = True
     render: bool = True
     steps: Optional[int] = None          # limit snapshot count
     gops: Optional[GraphicsOps] = None   # overrides `test` if given
@@ -199,12 +202,24 @@ class GodivaSnapshotData(SnapshotData):
     once per snapshot by the unit's read callback are reused across all
     ops — the redundant-read elimination the paper credits for the O->G
     I/O volume drop.
+
+    The returned arrays are zero-copy ``writeable=False`` views of the
+    GBO's live buffers: no intermediate copies, and read-only because
+    the derived-data cache keys memoized results by buffer *content* —
+    an in-place mutation through a view would silently invalidate them
+    (and corrupt the shared unit buffer for every other consumer), so
+    it raises instead. When the GBO carries a
+    :class:`~repro.core.derived.DerivedCache`, content tokens are
+    served through it, enabling frame/op/kernel memoization in the
+    pipeline.
     """
 
     def __init__(self, gbo: GBO, tsid: str, block_ids: Sequence[str]):
         self._gbo = gbo
+        self._tsid = tsid
         self._tsid_key = tsid.encode("ascii")
         self._block_order = list(block_ids)
+        self._derived = getattr(gbo, "derived", None)
 
     def block_ids(self) -> List[str]:
         return list(self._block_order)
@@ -212,22 +227,38 @@ class GodivaSnapshotData(SnapshotData):
     def _keys(self, block_id: str) -> List[bytes]:
         return [block_key(block_id).encode("ascii"), self._tsid_key]
 
-    def coords(self, block_id: str) -> np.ndarray:
-        buf = self._gbo.get_field_buffer(
-            "solid", "coords", self._keys(block_id)
-        )
-        return buf.reshape(-1, 3)
-
-    def connectivity(self, block_id: str) -> np.ndarray:
-        buf = self._gbo.get_field_buffer(
-            "solid", "conn", self._keys(block_id)
-        )
-        return buf.reshape(-1, 4)
-
-    def field(self, block_id: str, name: str) -> np.ndarray:
+    def _buffer(self, block_id: str, name: str) -> np.ndarray:
         buf = self._gbo.get_field_buffer(
             "solid", name, self._keys(block_id)
         )
+        # get_field_buffer makes a fresh view object per call, so the
+        # flag flip affects this view only, not the engine's buffer.
+        buf.flags.writeable = False
+        return buf
+
+    def derived_cache(self) -> Optional[object]:
+        """The GBO's derived-data memo cache (None when disabled)."""
+        return self._derived
+
+    def derived_token(self, block_id: str, name: str) -> Optional[str]:
+        """Content token of a source buffer, memoized per identity."""
+        if self._derived is None:
+            return None
+        return self._derived.token(
+            ("solid", name, block_id, self._tsid),
+            lambda: self._gbo.get_field_buffer(
+                "solid", name, self._keys(block_id)
+            ),
+        )
+
+    def coords(self, block_id: str) -> np.ndarray:
+        return self._buffer(block_id, "coords").reshape(-1, 3)
+
+    def connectivity(self, block_id: str) -> np.ndarray:
+        return self._buffer(block_id, "conn").reshape(-1, 4)
+
+    def field(self, block_id: str, name: str) -> np.ndarray:
+        buf = self._buffer(block_id, name)
         if field_components(name) == 3:
             return buf.reshape(-1, 3)
         return buf
@@ -329,18 +360,24 @@ class Voyager:
             stats=self.io_stats, profile=self.config.disk,
         )
         t_start = time.perf_counter()
+        # Revisit-aware schedule: snapshot_indices may name a step more
+        # than once (parameter sweeps, A/B comparisons). Each unit is
+        # added once; non-final visits finish_unit (evictable, reloadable
+        # on demand) and only the final visit deletes.
+        last_visit = {step: i for i, step in enumerate(steps)}
         with GBO(
             mem_mb=self.config.mem_mb,
             background_io=multi_thread,
             io_workers=self.config.io_workers if multi_thread else 1,
             eviction_policy=self.config.eviction_policy,
+            derived_cache=self.config.derived_cache,
         ) as gbo:
             solid_schema().ensure(gbo)
             # Batch mode: notify GODIVA of every unit up front, in
             # processing order (section 3.2).
-            for step in steps:
+            for step in dict.fromkeys(steps):
                 gbo.add_unit(snapshot_unit_name(step), read_fn)
-            for step in steps:
+            for visit, step in enumerate(steps):
                 t0 = time.perf_counter()
                 unit = snapshot_unit_name(step)
                 gbo.wait_unit(unit)
@@ -352,8 +389,11 @@ class Voyager:
                 result = self.pipeline.process(data)
                 triangles += result.triangles
                 self._maybe_write_image(step, result.image, images)
-                # Batch mode knows the data will not be needed again.
-                gbo.delete_unit(unit)
+                if last_visit[step] == visit:
+                    # Batch mode knows the data is not needed again.
+                    gbo.delete_unit(unit)
+                else:
+                    gbo.finish_unit(unit)
                 per_snapshot.append(time.perf_counter() - t0)
             total = time.perf_counter() - t_start
             stats = gbo.stats.snapshot()
@@ -411,6 +451,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--io-workers", type=int, default=1,
                         help="background I/O threads in the TG mode "
                              "(1 = the paper's single prefetch thread)")
+    parser.add_argument("--no-derived-cache", action="store_true",
+                        help="disable the budget-charged derived-data "
+                             "memo cache (G/TG modes)")
     args = parser.parse_args(argv)
 
     config = VoyagerConfig(
@@ -419,6 +462,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mode=args.mode,
         mem_mb=args.mem_mb,
         io_workers=args.io_workers,
+        derived_cache=not args.no_derived_cache,
         out_dir=args.out,
         render=not args.no_render,
         steps=args.steps,

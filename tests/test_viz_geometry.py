@@ -7,6 +7,7 @@ from repro.gen.tetmesh import structured_tet_block
 from repro.viz.geometry import (
     boundary_faces,
     element_to_node,
+    node_tet_counts,
     triangle_areas,
     triangle_normals,
 )
@@ -93,3 +94,48 @@ class TestElementToNode:
         with pytest.raises(ValueError):
             element_to_node(4, np.array([[0, 1, 2, 3]]),
                             np.array([1.0, 2.0]))
+
+
+class TestGoldenKernels:
+    """Exact expected outputs on tiny known meshes — the reference the
+    derived cache's memoized results are required to reproduce."""
+
+    TWO_TETS = np.array([[0, 1, 2, 3], [4, 1, 2, 3]])
+
+    def test_boundary_faces_golden_single_tet(self):
+        """One tet: exactly its four faces, original winding kept."""
+        faces = boundary_faces(np.array([[0, 1, 2, 3]]))
+        expected = [[0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]]
+        assert faces.tolist() == expected
+
+    def test_boundary_faces_golden_two_tets(self):
+        """Two tets glued on (1,2,3): the shared face vanishes, the six
+        outer faces remain — as an exact vertex-set enumeration."""
+        faces = boundary_faces(self.TWO_TETS)
+        got = {tuple(sorted(face)) for face in faces.tolist()}
+        assert got == {
+            (0, 1, 2), (0, 1, 3), (0, 2, 3),
+            (1, 2, 4), (1, 3, 4), (2, 3, 4),
+        }
+
+    def test_node_tet_counts_golden(self):
+        counts = node_tet_counts(6, self.TWO_TETS)
+        assert counts.tolist() == [1.0, 2.0, 2.0, 2.0, 1.0, 0.0]
+        assert counts.dtype == np.float64
+
+    def test_element_to_node_golden(self):
+        node = element_to_node(5, self.TWO_TETS, np.array([2.0, 6.0]))
+        assert node.tolist() == [2.0, 4.0, 4.0, 4.0, 6.0]
+
+    def test_element_to_node_accepts_frozen_counts(self):
+        """Precomputed counts may be a shared read-only cached array;
+        the kernel must not mutate it and must match the uncached
+        result exactly."""
+        counts = node_tet_counts(5, self.TWO_TETS)
+        counts.flags.writeable = False
+        elem = np.array([2.0, 6.0])
+        with_counts = element_to_node(5, self.TWO_TETS, elem,
+                                      counts=counts)
+        without = element_to_node(5, self.TWO_TETS, elem)
+        assert np.array_equal(with_counts, without)
+        assert counts.tolist() == [1.0, 2.0, 2.0, 2.0, 1.0]
