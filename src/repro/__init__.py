@@ -46,12 +46,14 @@ from repro.core import (
     parse_mem,
 )
 from repro.errors import (
+    AdmissionError,
     DatabaseClosedError,
     DuplicateKeyError,
     GodivaDeadlockError,
     GodivaError,
     KeyLookupError,
     MemoryBudgetError,
+    PaperAliasError,
     ReadFunctionError,
     RecordStateError,
     SchemaError,
@@ -60,6 +62,7 @@ from repro.errors import (
     UnknownTypeError,
     UnknownUnitError,
 )
+from repro.service import AsyncGodivaClient, GodivaService, ServiceSession
 
 __version__ = "1.0.0"
 
@@ -91,5 +94,10 @@ __all__ = [
     "DatabaseClosedError",
     "StorageFormatError",
     "ReadFunctionError",
+    "AdmissionError",
+    "PaperAliasError",
+    "GodivaService",
+    "ServiceSession",
+    "AsyncGodivaClient",
     "__version__",
 ]

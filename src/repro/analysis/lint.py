@@ -23,6 +23,11 @@ REP104   No mutable default arguments (list/dict/set literals,
 REP105   Public modules, classes, functions and methods need docstrings.
 REP106   Public functions and methods need complete type annotations
          (every parameter and the return type).
+REP107   No engine-layer imports (``RecordEngine``, ``UnitStore``,
+         ``MemoryManager``, ``IoScheduler``, ``LoadYield``) outside
+         :mod:`repro.core` and :mod:`repro.service` — clients go
+         through the blessed API (:mod:`repro.api`: ``GBO``,
+         ``GodivaService``/``ServiceSession``).
 =======  ==============================================================
 
 Pre-existing violations live in a committed baseline file
@@ -63,6 +68,21 @@ _THREADING_PRIMITIVES = frozenset({
 #: owns the camelCase names.
 _CONCURRENCY_EXEMPT = ("repro/analysis/",)
 _ALIAS_EXEMPT = ("repro/core/compat.py",)
+
+#: Engine-layer modules and class names that only the core facade and
+#: the service layer may import (REP107); everyone else goes through
+#: ``repro.api`` / ``repro`` exports.
+_ENGINE_MODULES = frozenset({
+    "repro.core.record_engine",
+    "repro.core.unit_store",
+    "repro.core.memory_manager",
+    "repro.core.io_scheduler",
+})
+_ENGINE_NAMES = frozenset({
+    "RecordEngine", "UnitStore", "MemoryManager", "IoScheduler",
+    "LoadYield",
+})
+_ENGINE_EXEMPT = ("repro/core/", "repro/service/")
 
 _MUTABLE_DEFAULT_NODES = (
     ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
@@ -113,6 +133,7 @@ class _Linter(ast.NodeVisitor):
         self._threading_imports: Set[str] = set()
         self._concurrency_exempt = _is_exempt(path, _CONCURRENCY_EXEMPT)
         self._alias_exempt = _is_exempt(path, _ALIAS_EXEMPT)
+        self._engine_exempt = _is_exempt(path, _ENGINE_EXEMPT)
 
     # -- plumbing ------------------------------------------------------
     def _qualname(self, name: Optional[str] = None) -> str:
@@ -126,13 +147,48 @@ class _Linter(ast.NodeVisitor):
             symbol or self._qualname(), message,
         ))
 
-    # -- imports (for bare Lock()/Condition() detection) ---------------
+    # -- imports (bare Lock()/Condition(); engine-layer boundary) ------
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "threading":
             for alias in node.names:
                 if alias.name in _THREADING_PRIMITIVES:
                     self._threading_imports.add(
                         alias.asname or alias.name
+                    )
+        if not self._engine_exempt and node.module is not None:
+            if node.module in _ENGINE_MODULES:
+                self._add(
+                    "REP107", node,
+                    f"engine-layer import from {node.module!r} outside "
+                    f"repro.core/repro.service — use the blessed API "
+                    f"(repro.api)",
+                    symbol=f"import:{node.module}",
+                )
+            elif node.module in ("repro.core", "repro"):
+                leaked = sorted(
+                    alias.name for alias in node.names
+                    if alias.name in _ENGINE_NAMES
+                )
+                if leaked:
+                    self._add(
+                        "REP107", node,
+                        f"engine-layer names {', '.join(leaked)} "
+                        f"imported outside repro.core/repro.service — "
+                        f"use the blessed API (repro.api)",
+                        symbol=f"import:{','.join(leaked)}",
+                    )
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self._engine_exempt:
+            for alias in node.names:
+                if alias.name in _ENGINE_MODULES:
+                    self._add(
+                        "REP107", node,
+                        f"engine-layer import {alias.name!r} outside "
+                        f"repro.core/repro.service — use the blessed "
+                        f"API (repro.api)",
+                        symbol=f"import:{alias.name}",
                     )
         self.generic_visit(node)
 

@@ -1,0 +1,46 @@
+"""repro.api — the blessed client surface of the GODIVA reproduction.
+
+Import from here (or from :mod:`repro` itself) rather than from engine
+modules; ``repro-lint`` rule REP107 enforces that engine-layer classes
+(``RecordEngine``, ``UnitStore``, ``MemoryManager``, ``IoScheduler``)
+are only imported inside :mod:`repro.core` and :mod:`repro.service`.
+
+Two ways to hold a database:
+
+* **Single-process** — :class:`~repro.core.database.GBO`: the paper's
+  one-database-per-process object, unchanged. Conceptually this is the
+  degenerate service: one tenant whose carve-out is the whole budget,
+  no admission control, no name scoping.
+* **Multi-tenant** — :class:`~repro.service.service.GodivaService`
+  hosts one shared engine; :meth:`~GodivaService.create_session` admits
+  tenants and returns :class:`~repro.service.service.ServiceSession`
+  handles (scoped names, carve-out floors, fair eviction);
+  :class:`~repro.service.aio.AsyncGodivaClient` bridges asyncio
+  clients onto the same engine.
+
+All three database-shaped objects are context managers, mirroring
+:class:`~repro.core.units.UnitHandle`'s ``with`` discipline::
+
+    with GodivaService(mem_mb=256) as service:
+        with service.create_session("viz", mem_mb=64) as session:
+            with session.add_unit("snap:0001", read_fn).wait() as unit:
+                ...  # query buffers; finished on exit
+
+:class:`~repro.viz.voyager.VoyagerConfig` accepts ``session=`` to run
+the batch visualization tool against a shared engine.
+"""
+
+from repro.core.database import GBO
+from repro.core.units import UnitHandle
+from repro.service.aio import AsyncGodivaClient
+from repro.service.service import GodivaService, ServiceSession
+from repro.viz.voyager import VoyagerConfig
+
+__all__ = [
+    "GBO",
+    "UnitHandle",
+    "GodivaService",
+    "ServiceSession",
+    "AsyncGodivaClient",
+    "VoyagerConfig",
+]

@@ -25,10 +25,12 @@ DEFAULT_TOLERANCE = 0.25
 
 MICRO_BASELINE = "core_micro.json"
 DERIVED_BASELINE = "derived_cache.json"
+SERVICE_BASELINE = "service_tenants.json"
 
 #: pytest-benchmark artifact name expected in the results directory.
 MICRO_RESULTS = "benchmark_core_micro.json"
 DERIVED_RESULTS = "BENCH_derived_cache.json"
+SERVICE_RESULTS = "BENCH_service_tenants.json"
 
 
 def _read_json(path: str) -> Optional[dict]:
@@ -61,6 +63,25 @@ def distill_derived(payload: dict) -> Dict[str, float]:
     }
 
 
+def distill_service(payload: dict) -> Dict[str, float]:
+    """BENCH_service_tenants.json -> the guarded scalar metrics."""
+    fairness = payload["fairness"]
+    scale = payload["async_scale"]
+    thrash = fairness["tenants"].get("thrash", {})
+    return {
+        "isolation_held": bool(fairness["isolation_held"]),
+        "unfair_evictions": float(
+            fairness["total_unfair_evictions"]
+            + scale["unfair_evictions"]
+        ),
+        "thrash_evictions": float(thrash.get("evictions", 0)),
+        "clients_served": float(scale["clients_served"]),
+        "sessions_leaked": float(scale["sessions_leaked"]),
+        "scale_wall_s": float(scale["wall_s"]),
+        "calibration_s": float(payload["calibration_s"]),
+    }
+
+
 def update_baselines(results_dir: str, baselines_dir: str) -> List[str]:
     """Rewrite the baselines from the current results; returns the
     files written (skips artifacts that were not produced)."""
@@ -83,6 +104,13 @@ def update_baselines(results_dir: str, baselines_dir: str) -> List[str]:
         path = os.path.join(baselines_dir, DERIVED_BASELINE)
         with open(path, "w") as f:
             json.dump(distill_derived(derived), f, indent=1,
+                      sort_keys=True)
+        written.append(path)
+    service = _read_json(os.path.join(results_dir, SERVICE_RESULTS))
+    if service is not None:
+        path = os.path.join(baselines_dir, SERVICE_BASELINE)
+        with open(path, "w") as f:
+            json.dump(distill_service(service), f, indent=1,
                       sort_keys=True)
         written.append(path)
     return written
@@ -165,10 +193,60 @@ def compare_derived(results_dir: str, baselines_dir: str,
     return failures
 
 
+def compare_service(results_dir: str, baselines_dir: str,
+                    tolerance: float) -> List[str]:
+    """Service bench comparison: fairness invariants are exact,
+    client scale may only grow, the asyncio wall is calibrated."""
+    baseline = _read_json(os.path.join(baselines_dir, SERVICE_BASELINE))
+    current_payload = _read_json(
+        os.path.join(results_dir, SERVICE_RESULTS)
+    )
+    if baseline is None:
+        return []
+    if current_payload is None:
+        return [f"missing current results {SERVICE_RESULTS!r} "
+                f"(run bench_service_tenants)"]
+    current = distill_service(current_payload)
+    failures: List[str] = []
+    if not current["isolation_held"]:
+        failures.append("per-tenant budget isolation no longer holds")
+    if current["unfair_evictions"] > 0:
+        failures.append(
+            f"{current['unfair_evictions']:.0f} unfair evictions "
+            "(baseline invariant is zero)"
+        )
+    if current["sessions_leaked"] > 0:
+        failures.append(
+            f"{current['sessions_leaked']:.0f} sessions leaked after "
+            "the asyncio scale run"
+        )
+    if current["thrash_evictions"] <= 0:
+        failures.append(
+            "thrash tenant no longer churns — the fairness workload "
+            "stopped exercising eviction"
+        )
+    if current["clients_served"] < baseline["clients_served"]:
+        failures.append(
+            f"asyncio clients served dropped: "
+            f"{current['clients_served']:.0f} vs baseline "
+            f"{baseline['clients_served']:.0f}"
+        )
+    norm_base = baseline["scale_wall_s"] / baseline["calibration_s"]
+    norm_now = current["scale_wall_s"] / current["calibration_s"]
+    if norm_now > norm_base * (1.0 + tolerance):
+        failures.append(
+            f"asyncio scale calibrated wall regressed: "
+            f"{norm_now:.2f} vs baseline {norm_base:.2f} "
+            f"(> +{tolerance:.0%})"
+        )
+    return failures
+
+
 def compare_all(results_dir: str, baselines_dir: str,
                 tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
     """All guards; returns the list of regression descriptions."""
     return (
         compare_micro(results_dir, baselines_dir, tolerance)
         + compare_derived(results_dir, baselines_dir, tolerance)
+        + compare_service(results_dir, baselines_dir, tolerance)
     )

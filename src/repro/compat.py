@@ -1,0 +1,33 @@
+"""repro.compat — the single migration shim for the paper's camelCase API.
+
+The camelCase aliases (``addUnit``, ``defineField``, …) completed their
+deprecation cycle and are now hard errors
+(:class:`~repro.errors.PaperAliasError`). This module is the one place
+migration tooling should import from:
+
+* :data:`PAPER_ALIASES` — the full ``camelCase -> snake_case`` rename
+  table (drive a codemod from it);
+* :class:`PaperGBO` — still constructible with the paper's
+  megabytes-positional convention (``PaperGBO(400)`` = 400 MB), its
+  camelCase methods raising the migration error with the replacement
+  name;
+* :func:`install_paper_aliases` — attaches the hard-error stubs to a
+  GBO subclass (each stub's ``__wrapped__`` is the snake_case method,
+  so introspection still resolves the target).
+
+Migrating a paper-era port::
+
+    from repro.compat import PAPER_ALIASES
+    for old, new in PAPER_ALIASES.items():
+        ...  # rewrite `gbo.old(` -> `gbo.new(` in your sources
+"""
+
+from repro.core.compat import PAPER_ALIASES, PaperGBO, install_paper_aliases
+from repro.errors import PaperAliasError
+
+__all__ = [
+    "PAPER_ALIASES",
+    "PaperGBO",
+    "PaperAliasError",
+    "install_paper_aliases",
+]

@@ -1,22 +1,25 @@
-"""CamelCase method aliases matching the paper's C++ API verbatim.
+"""CamelCase paper-API names — now hard-error migration stubs.
 
-The library's native surface is snake_case (Pythonic), but the paper names
-its interfaces ``defineField``, ``addUnit`` and so on; ports of existing
-Rocketeer-style code can keep those spellings by calling
-:func:`install_paper_aliases` once, or by using :class:`PaperGBO`.
+The library's native surface is snake_case (Pythonic), but the paper
+names its interfaces ``defineField``, ``addUnit`` and so on. Through
+PR 1–5 those camelCase spellings were live deprecation shims (a
+:class:`DeprecationWarning`, then a forward); the deprecation window is
+over: every alias now raises :class:`~repro.errors.PaperAliasError`
+naming the snake_case replacement. The alias *table* and
+:class:`PaperGBO`'s megabytes-positional constructor remain, so ported
+code fails loudly at the first camelCase call site instead of silently
+drifting, and tooling can still enumerate the paper names.
 
-The aliases are deprecation shims: each camelCase call emits a
-:class:`DeprecationWarning` pointing at the snake_case replacement, then
-forwards every argument unchanged. New code should use the snake_case
-names on :class:`~repro.core.database.GBO` directly.
+Import everything here through the top-level :mod:`repro.compat` shim —
+that is the one blessed entry point for migration tooling.
 """
 
 from __future__ import annotations
 
 import functools
-import warnings
 
 from repro.core.database import GBO
+from repro.errors import PaperAliasError
 
 #: paper name -> snake_case method (exactly the interfaces in Figure 1
 #: plus setMemSpace, cancelUnit and the schema calls of section 3.1).
@@ -41,27 +44,30 @@ PAPER_ALIASES = {
 
 
 def _make_alias(paper_name: str, snake_name: str):
+    """A method stub that rejects the removed camelCase spelling."""
+
     def alias(self, *args, **kwargs):
-        warnings.warn(
-            f"{paper_name}() is a deprecated paper-compatibility alias; "
-            f"use {snake_name}() instead",
-            DeprecationWarning,
-            stacklevel=2,
+        raise PaperAliasError(
+            f"{paper_name}() was removed: the camelCase paper aliases "
+            f"were deprecated shims through PR 1-5 and are now errors. "
+            f"Call {snake_name}() instead (see repro.compat for the "
+            f"full rename table)."
         )
-        return getattr(self, snake_name)(*args, **kwargs)
 
     alias.__name__ = paper_name
     alias.__qualname__ = paper_name
     alias.__doc__ = (
-        f"Deprecated camelCase alias for :meth:`GBO.{snake_name}`."
+        f"Removed camelCase alias for :meth:`GBO.{snake_name}`; raises "
+        f":class:`~repro.errors.PaperAliasError`."
     )
     alias.__wrapped__ = getattr(GBO, snake_name)
     return alias
 
 
 def install_paper_aliases(cls: type = GBO) -> type:
-    """Attach the paper's camelCase names to ``cls`` as deprecation
-    shims that forward to the snake_case methods."""
+    """Attach the paper's camelCase names to ``cls`` as hard-error
+    stubs pointing at the snake_case methods (the stub's
+    ``__wrapped__`` is the replacement, for tooling)."""
     for paper_name, snake_name in PAPER_ALIASES.items():
         if paper_name not in cls.__dict__ and not hasattr(cls, paper_name):
             setattr(cls, paper_name, _make_alias(paper_name, snake_name))
@@ -70,12 +76,14 @@ def install_paper_aliases(cls: type = GBO) -> type:
 
 @install_paper_aliases
 class PaperGBO(GBO):
-    """A :class:`~repro.core.database.GBO` whose methods also answer to the
-    paper's exact camelCase names (``godiva.addUnit(...)``).
+    """A :class:`~repro.core.database.GBO` for paper-era ports.
 
-    The constructor keeps the paper's convention that a bare number is a
-    megabyte count (``new GBO(400)`` = 400 MB), unlike the modern
-    ``GBO(mem=...)`` where an ``int`` means bytes.
+    The constructor keeps the paper's convention that a bare number is
+    a megabyte count (``new GBO(400)`` = 400 MB), unlike the modern
+    ``GBO(mem=...)`` where an ``int`` means bytes. The camelCase method
+    names (``godiva.addUnit(...)``) are present but raise
+    :class:`~repro.errors.PaperAliasError` with the snake_case
+    replacement — migrate call sites, keep the constructor.
     """
 
     @functools.wraps(GBO.__init__)

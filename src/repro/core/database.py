@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.analysis.primitives import TrackedCondition, TrackedLock
 from repro.analysis.races import guarded_by
+from repro.core.cache import EvictionPolicy
 from repro.core.derived import DerivedCache
 from repro.core.io_scheduler import IoScheduler
 from repro.core.memory import MemoryAccountant, parse_budget
@@ -51,7 +52,9 @@ class GBO:
     ``mem``/``mem_mb``/``mem_bytes``: one-of-three budget spellings
     (:func:`repro.core.memory.parse_budget`); ``background_io=False``
     selects the single-thread *G* build; ``io_workers`` sizes the pool;
-    ``eviction_policy`` is ``'lru'``/``'fifo'``/``'mru'``;
+    ``eviction_policy`` is ``'lru'``/``'fifo'``/``'mru'`` or a ready
+    :class:`~repro.core.cache.EvictionPolicy` instance (the service
+    layer injects a tenant-aware one);
     ``derived_cache=False`` disables the budget-charged derived-data
     memo cache (:attr:`derived`); ``clock``
     injects the monotonic-seconds source; ``unit_event_hook(event,
@@ -67,7 +70,7 @@ class GBO:
         mem_bytes: Optional[int] = None,
         background_io: bool = True,
         io_workers: int = 1,
-        eviction_policy: str = "lru",
+        eviction_policy: Union[str, "EvictionPolicy"] = "lru",
         derived_cache: bool = True,
         clock: Callable[[], float] = time.monotonic,
         unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
@@ -155,9 +158,23 @@ class GBO:
 
     def close(self) -> None:
         """Terminate the I/O workers and free all buffers (the paper
-        ties this to GBO destruction; also ``with`` exit)."""
+        ties this to GBO destruction; also ``with`` exit).
+
+        Idempotent and safe to race: exactly one caller runs the
+        teardown; every other concurrent or subsequent ``close()``
+        blocks until that teardown completes and then returns. Blocked
+        waiters and prefetching workers observe ``_closing`` and raise
+        :class:`~repro.errors.DatabaseClosedError` rather than hang.
+        """
         with self._cond:
             if self._closed:
+                return
+            if self._closing:
+                # Another thread owns the teardown; wait it out so a
+                # racing close() never returns before the GBO is dead —
+                # and never runs the teardown twice.
+                while not self._closed:
+                    self._cond.wait()
                 return
             self._closing = True
             self._cond.notify_all()
@@ -170,6 +187,7 @@ class GBO:
             self._io.clear_queue()
             self._mem.drain()
             self._closed = True
+            self._cond.notify_all()
         self._records.shutdown()
 
     def __enter__(self) -> "GBO":

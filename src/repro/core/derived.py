@@ -358,6 +358,33 @@ class DerivedCache:
         self._check_locked()
         return list(self._entries)
 
+    def entries_locked(self) -> List[Tuple[str, int]]:
+        """(policy name, nbytes) of every live entry. Lock held.
+
+        The per-entry byte accessor the tenancy ledger uses to charge
+        ``derived::`` entries to the owning tenant without taking the
+        lock it already holds.
+        """
+        self._check_locked()
+        return [
+            (name, entry.nbytes)
+            for name, entry in self._entries.items()
+        ]
+
+    def invalidate_prefix_locked(self, prefix: str) -> int:
+        """Drop every entry whose policy name starts with ``prefix``.
+
+        Returns the bytes freed. Lock held. The service layer uses this
+        on session close to drop one tenant's share of the cache plane
+        (entries of other tenants are untouched).
+        """
+        self._check_locked()
+        freed = 0
+        for name in [n for n in self._entries if n.startswith(prefix)]:
+            self._memory.policy.remove(name)
+            freed += self.evict_locked(name)
+        return freed
+
     def report(self) -> List[Tuple[str, int]]:
         """(policy name, nbytes) per entry, insertion-ordered."""
         with self._lock:

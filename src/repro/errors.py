@@ -65,7 +65,25 @@ class GodivaDeadlockError(GodivaError):
 
 
 class DatabaseClosedError(GodivaError):
-    """An interface was invoked on a GBO whose I/O thread was shut down."""
+    """An interface was invoked on a GBO whose I/O thread was shut down.
+
+    Also raised on the *session* side of the multi-tenant service: any
+    blocking call racing a ``ServiceSession.close``/``GodivaService.close``
+    fails with this error rather than hanging."""
+
+
+class AdmissionError(GodivaError):
+    """The service cannot admit a session: the requested per-tenant
+    carve-out would over-subscribe the global memory budget (and, in
+    ``admission='queue'`` mode, capacity did not free up in time), or
+    the tenant name is already bound to a live session."""
+
+
+class PaperAliasError(GodivaError, TypeError):
+    """A removed camelCase paper alias (``addUnit``, ``defineField``, …)
+    was called. The aliases were deprecation shims through PR 1–5 and are
+    now hard errors; the message names the snake_case replacement and
+    the :mod:`repro.compat` migration shim."""
 
 
 class StorageFormatError(GodivaError):

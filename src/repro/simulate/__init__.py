@@ -32,6 +32,13 @@ from repro.simulate.resources import (
     SimSemaphore,
 )
 from repro.simulate.runner import SimRunResult, simulate_voyager
+from repro.simulate.tenants import (
+    TenantOutcome,
+    TenantSpec,
+    WorkloadResult,
+    payload_read_fn,
+    run_tenant_workload,
+)
 from repro.simulate.workload import TestWorkload, trace_workload
 
 __all__ = [
@@ -53,4 +60,9 @@ __all__ = [
     "simulate_voyager",
     "ClusterRunResult",
     "simulate_cluster_voyager",
+    "TenantSpec",
+    "TenantOutcome",
+    "WorkloadResult",
+    "payload_read_fn",
+    "run_tenant_workload",
 ]

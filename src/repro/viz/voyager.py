@@ -69,12 +69,21 @@ class VoyagerConfig:
     #: Explicit snapshot indices to process (parallel workers get their
     #: partition here); overrides `steps`.
     snapshot_indices: Optional[List[int]] = None
+    #: Run against a multi-tenant service session
+    #: (:class:`repro.service.ServiceSession`) instead of a private GBO.
+    #: The session's shared engine always prefetches in the background,
+    #: so the mode is forced to "TG"; ``mem_mb``/``eviction_policy``/
+    #: ``io_workers``/``derived_cache`` are the *service's* to configure
+    #: and are ignored here. Voyager never closes the session.
+    session: Optional[object] = None
 
     def __post_init__(self):
         if self.mode not in MODES:
             raise ValueError(
                 f"unknown mode {self.mode!r}; choose from {MODES}"
             )
+        if self.session is not None:
+            self.mode = "TG"
 
     def resolve_gops(self) -> GraphicsOps:
         return self.gops if self.gops is not None else test_gops(self.test)
@@ -350,6 +359,24 @@ class Voyager:
         )
 
     def _run_godiva(self, multi_thread: bool) -> VoyagerResult:
+        if self.config.session is not None:
+            # Service mode: drive the shared engine through the session;
+            # the service owns budget/policy/workers and the close.
+            return self._drive_godiva(self.config.session,
+                                      multi_thread=True)
+        with GBO(
+            mem_mb=self.config.mem_mb,
+            background_io=multi_thread,
+            io_workers=self.config.io_workers if multi_thread else 1,
+            eviction_policy=self.config.eviction_policy,
+            derived_cache=self.config.derived_cache,
+        ) as gbo:
+            return self._drive_godiva(gbo, multi_thread=multi_thread)
+
+    def _drive_godiva(self, gbo, multi_thread: bool) -> VoyagerResult:
+        """The G/TG processing loop over any GBO-shaped database —
+        a private :class:`GBO` or a :class:`ServiceSession` (which
+        scopes names and shares the engine's stats across tenants)."""
         images: List[str] = []
         per_snapshot: List[float] = []
         triangles = 0
@@ -365,38 +392,31 @@ class Voyager:
         # added once; non-final visits finish_unit (evictable, reloadable
         # on demand) and only the final visit deletes.
         last_visit = {step: i for i, step in enumerate(steps)}
-        with GBO(
-            mem_mb=self.config.mem_mb,
-            background_io=multi_thread,
-            io_workers=self.config.io_workers if multi_thread else 1,
-            eviction_policy=self.config.eviction_policy,
-            derived_cache=self.config.derived_cache,
-        ) as gbo:
-            solid_schema().ensure(gbo)
-            # Batch mode: notify GODIVA of every unit up front, in
-            # processing order (section 3.2).
-            for step in dict.fromkeys(steps):
-                gbo.add_unit(snapshot_unit_name(step), read_fn)
-            for visit, step in enumerate(steps):
-                t0 = time.perf_counter()
-                unit = snapshot_unit_name(step)
-                gbo.wait_unit(unit)
-                data = GodivaSnapshotData(
-                    gbo,
-                    self.manifest.snapshots[step].tsid,
-                    self.manifest.block_ids,
-                )
-                result = self.pipeline.process(data)
-                triangles += result.triangles
-                self._maybe_write_image(step, result.image, images)
-                if last_visit[step] == visit:
-                    # Batch mode knows the data is not needed again.
-                    gbo.delete_unit(unit)
-                else:
-                    gbo.finish_unit(unit)
-                per_snapshot.append(time.perf_counter() - t0)
-            total = time.perf_counter() - t_start
-            stats = gbo.stats.snapshot()
+        solid_schema().ensure(gbo)
+        # Batch mode: notify GODIVA of every unit up front, in
+        # processing order (section 3.2).
+        for step in dict.fromkeys(steps):
+            gbo.add_unit(snapshot_unit_name(step), read_fn)
+        for visit, step in enumerate(steps):
+            t0 = time.perf_counter()
+            unit = snapshot_unit_name(step)
+            gbo.wait_unit(unit)
+            data = GodivaSnapshotData(
+                gbo,
+                self.manifest.snapshots[step].tsid,
+                self.manifest.block_ids,
+            )
+            result = self.pipeline.process(data)
+            triangles += result.triangles
+            self._maybe_write_image(step, result.image, images)
+            if last_visit[step] == visit:
+                # Batch mode knows the data is not needed again.
+                gbo.delete_unit(unit)
+            else:
+                gbo.finish_unit(unit)
+            per_snapshot.append(time.perf_counter() - t0)
+        total = time.perf_counter() - t_start
+        stats = gbo.stats.snapshot()
         io = self.io_stats.snapshot()
         if multi_thread:
             # Foreground virtual I/O is only what the main thread waited

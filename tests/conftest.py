@@ -29,7 +29,7 @@ def pytest_configure(config):
 def pytest_collection_modifyitems(items):
     for item in items:
         filename = item.nodeid.split("::", 1)[0].rsplit("/", 1)[-1]
-        if filename.startswith("test_database_"):
+        if filename.startswith(("test_database_", "test_service_")):
             item.add_marker(pytest.mark.races)
 
 

@@ -193,6 +193,45 @@ class TestRep106Annotations:
         assert rules(src) == []
 
 
+class TestRep107EngineImports:
+    def test_engine_module_import_flagged(self):
+        src = DOC + (
+            "from repro.core.record_engine import RecordEngine\n"
+        )
+        violations = lint.lint_source(src, "src/repro/viz/x.py")
+        assert [v.rule for v in violations] == ["REP107"]
+        assert "repro.api" in violations[0].message
+
+    def test_leaked_engine_name_from_core_flagged(self):
+        src = DOC + (
+            "from repro.core import GBO, MemoryManager\n"
+        )
+        violations = lint.lint_source(src, "src/repro/viz/x.py")
+        assert [v.rule for v in violations] == ["REP107"]
+        assert "MemoryManager" in violations[0].message
+
+    def test_plain_module_import_flagged(self):
+        src = DOC + "import repro.core.io_scheduler\n"
+        assert rules(src, "src/repro/viz/x.py") == ["REP107"]
+
+    def test_facade_imports_are_clean(self):
+        src = DOC + (
+            "from repro.core import GBO\n"
+            "from repro.core.units import UnitHandle\n"
+        )
+        assert rules(src, "src/repro/viz/x.py") == []
+
+    @pytest.mark.parametrize("path", [
+        "src/repro/core/database.py",
+        "src/repro/service/service.py",
+    ])
+    def test_core_and_service_exempt(self, path):
+        src = DOC + (
+            "from repro.core.memory_manager import MemoryManager\n"
+        )
+        assert rules(src, path) == []
+
+
 class TestBaseline:
     def test_violation_key_is_line_number_free(self):
         src = DOC + "def run(count) -> int:\n    '''D.'''\n    return 1\n"

@@ -1,13 +1,19 @@
-"""The paper's camelCase API aliases."""
+"""The paper's camelCase API names — now hard-error migration stubs.
+
+PR 1-5 shipped the aliases as DeprecationWarning shims; the window is
+closed: every camelCase call must raise
+:class:`repro.errors.PaperAliasError` naming the snake_case
+replacement, while the alias *table*, ``install_paper_aliases`` and
+``PaperGBO``'s megabytes-positional constructor keep working so ported
+code fails loudly (not silently) and codemods can be driven from the
+table via the top-level ``repro.compat`` shim.
+"""
 
 import pytest
 
 from repro.core.compat import PAPER_ALIASES, PaperGBO, install_paper_aliases
-from repro.core.types import UNKNOWN, DataType
-
-# The aliases deprecation-warn by design; these tests exercise them on
-# purpose (test_aliases_emit_deprecation_warnings asserts the warning).
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+from repro.core.types import DataType
+from repro.errors import PaperAliasError
 
 
 def test_alias_table_covers_figure1_interfaces():
@@ -20,66 +26,51 @@ def test_alias_table_covers_figure1_interfaces():
         assert name in PAPER_ALIASES
 
 
-def test_paper_gbo_speaks_camel_case():
-    """The paper's sample code, nearly verbatim."""
-    godiva = PaperGBO(400)
+def test_every_alias_raises_with_migration_message():
+    godiva = PaperGBO(4)
     try:
-        godiva.defineField("block id", DataType.STRING, 11)
-        godiva.defineField("time-step id", DataType.STRING, 9)
-        godiva.defineField("x coordinates", DataType.DOUBLE, UNKNOWN)
-        godiva.defineField("x coordinates", DataType.DOUBLE, UNKNOWN)
-        godiva.defineField("pressure", DataType.DOUBLE, UNKNOWN)
-        godiva.defineField("temperature", DataType.DOUBLE, UNKNOWN)
-
-        godiva.defineRecord("fluid", 2)  # has 2 key fields
-        godiva.insertField("fluid", "block id", True)
-        godiva.insertField("fluid", "time-step id", True)
-        godiva.insertField("fluid", "x coordinates", False)
-        godiva.insertField("fluid", "pressure", False)
-        godiva.insertField("fluid", "temperature", False)
-        godiva.commitRecordType("fluid")
-
-        record = godiva.newRecord("fluid")
-        record.field("block id").write(b"block_0003$")
-        record.field("time-step id").write(b"0.000075$")
-        godiva.allocFieldBuffer(record, "pressure", 80_000)
-        godiva.commitRecord(record)
-
-        # "give me the address of the pressure data buffer of the block
-        # with ID block_0003 from the time-step with ID 0.000075"
-        buf = godiva.getFieldBuffer(
-            "fluid", "pressure", [b"block_0003$", b"0.000075$"]
-        )
-        assert len(buf) == 10_000
-        assert godiva.getFieldBufferSize(
-            "fluid", "pressure", [b"block_0003$", b"0.000075$"]
-        ) == 80_000
-
-        godiva.setMemSpace(300)
+        for paper_name, snake_name in PAPER_ALIASES.items():
+            with pytest.raises(PaperAliasError) as excinfo:
+                getattr(godiva, paper_name)()
+            # The error must carry both the removed name and the
+            # replacement, so the fix is copy-pasteable.
+            assert paper_name in str(excinfo.value)
+            assert snake_name in str(excinfo.value)
+            assert "repro.compat" in str(excinfo.value)
     finally:
         godiva.close()
 
 
-def test_paper_unit_interfaces():
-    def read_file(gbo, unit_name):
-        gbo.defineField("id", DataType.STRING, 8)
-        if not gbo.has_record_type("rec"):
-            gbo.defineRecord("rec", 1)
-            gbo.insertField("rec", "id", True)
-            gbo.commitRecordType("rec")
-        record = gbo.newRecord("rec")
-        record.field("id").write(unit_name.rjust(8)[-8:].encode())
-        gbo.commitRecord(record)
+def test_alias_error_is_a_type_error():
+    # Ports catching TypeError around duck-typed calls keep working.
+    godiva = PaperGBO(4)
+    try:
+        with pytest.raises(TypeError):
+            godiva.addUnit("u", lambda g, n: None)
+    finally:
+        godiva.close()
 
+
+def test_snake_case_paper_sample_still_runs():
+    """The paper's sample code, in the blessed snake_case spelling."""
     godiva = PaperGBO(400)
     try:
-        godiva.addUnit("fluid_file1", read_file)
-        godiva.addUnit("fluid_file2", read_file)
-        godiva.waitUnit("fluid_file1")
-        godiva.deleteUnit("fluid_file1")
-        godiva.waitUnit("fluid_file2")
-        godiva.finishUnit("fluid_file2")
-        godiva.readUnit("fluid_file3", read_file)
+        godiva.define_field("block id", DataType.STRING, 11)
+        godiva.define_field("pressure", DataType.DOUBLE)
+
+        godiva.define_record("fluid", 1)
+        godiva.insert_field("fluid", "block id", True)
+        godiva.insert_field("fluid", "pressure", False)
+        godiva.commit_record_type("fluid")
+
+        record = godiva.new_record("fluid")
+        record.field("block id").write(b"block_0003$")
+        godiva.alloc_field_buffer(record, "pressure", 80_000)
+        godiva.commit_record(record)
+
+        buf = godiva.get_field_buffer("fluid", "pressure", [b"block_0003$"])
+        assert len(buf) == 10_000
+        godiva.set_mem_space(300)
     finally:
         godiva.close()
 
@@ -92,19 +83,14 @@ def test_install_on_custom_subclass():
 
     install_paper_aliases(MyGbo)
     assert callable(MyGbo.addUnit)
+    # __wrapped__ still points at the replacement for tooling.
     assert MyGbo.addUnit.__wrapped__ is MyGbo.add_unit
-
-
-def test_aliases_emit_deprecation_warnings():
-    godiva = PaperGBO(4)
+    gbo = MyGbo(mem_mb=4)
     try:
-        with pytest.warns(DeprecationWarning, match="defineField"):
-            godiva.defineField("f", DataType.INT32, 4)
-        with pytest.warns(DeprecationWarning, match="setMemSpace"):
-            godiva.setMemSpace(8)
-        assert godiva.mem_budget_bytes == 8 * 1024 * 1024
+        with pytest.raises(PaperAliasError, match="add_unit"):
+            gbo.addUnit("u", lambda g, n: None)
     finally:
-        godiva.close()
+        gbo.close()
 
 
 def test_paper_gbo_positional_number_means_megabytes():
@@ -125,3 +111,23 @@ def test_paper_gbo_positional_number_means_megabytes():
 def test_cancel_unit_alias_present():
     assert PAPER_ALIASES["cancelUnit"] == "cancel_unit"
     assert callable(PaperGBO.cancelUnit)
+
+
+def test_top_level_compat_shim_reexports():
+    import repro.compat as compat
+
+    assert compat.PAPER_ALIASES is PAPER_ALIASES
+    assert compat.PaperGBO is PaperGBO
+    assert compat.install_paper_aliases is install_paper_aliases
+    assert compat.PaperAliasError is PaperAliasError
+    assert set(compat.__all__) == {
+        "PAPER_ALIASES", "PaperGBO", "PaperAliasError",
+        "install_paper_aliases",
+    }
+
+
+def test_lint_alias_table_in_sync():
+    # The linter mirrors the table without importing the library.
+    from repro.analysis.lint import PAPER_ALIAS_NAMES
+
+    assert PAPER_ALIAS_NAMES == frozenset(PAPER_ALIASES)
