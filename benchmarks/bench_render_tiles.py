@@ -1,0 +1,104 @@
+"""R1 — tiled-parallel rendering: complex test, serial vs pooled.
+
+Runs the full complex op-set over a dense mesh with the compute plane
+at 1, 2, and 4 workers; emits ``BENCH_render_tiles.json``.
+
+Acceptance bars (the issue's criteria, asserted here):
+
+* >= 2x compute-wall speedup at ``compute_workers=4`` vs serial;
+* rendered frames bit-identical between every pool size and serial.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.derived import image_bytes
+from repro.bench.tiles import (
+    render_tiles_json,
+    run_tiles,
+    scenario_row,
+)
+from repro.bench.workloads import ensure_dataset
+
+DATA_ROOT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), ".data"
+)
+
+#: Dense enough that the serial per-triangle raster loop dominates the
+#: frame (~28k triangles/frame) — the workload the tiled path exists
+#: for; small enough to generate and render in seconds.
+SCALE = 0.3
+STEPS = 3
+
+SCENARIOS = (
+    ("serial", 1),
+    ("tiled2", 2),
+    ("tiled4", 4),
+)
+
+
+@pytest.fixture(scope="module")
+def tiles_dataset():
+    return ensure_dataset(DATA_ROOT, scale=SCALE, n_steps=STEPS,
+                          files_per_snapshot=2)
+
+
+@pytest.fixture(scope="module")
+def tile_runs(tiles_dataset, tmp_path_factory):
+    """Every scenario over the identical schedule (best-of-2 walls)."""
+    runs = {}
+    for scenario, workers in SCENARIOS:
+        out_dir = str(tmp_path_factory.mktemp(f"frames_{scenario}"))
+        runs[scenario] = (workers, run_tiles(
+            tiles_dataset, compute_workers=workers, out_dir=out_dir,
+        ))
+    return runs
+
+
+def test_render_tiles_bit_identity(tile_runs):
+    """Every pool size renders the serial build's exact bytes."""
+    _w, serial = tile_runs["serial"]
+    frames_serial = image_bytes(serial)
+    assert frames_serial
+    for scenario in ("tiled2", "tiled4"):
+        _w, run = tile_runs[scenario]
+        frames = image_bytes(run)
+        assert frames.keys() == frames_serial.keys()
+        assert all(
+            frames[name] == frames_serial[name] for name in frames
+        ), f"{scenario} rendered output differs from serial"
+
+
+def test_render_tiles_speedup(tile_runs):
+    """Serial vs 4-worker pool: >= 2x compute wall."""
+    _w, serial = tile_runs["serial"]
+    _w, tiled = tile_runs["tiled4"]
+    assert serial.triangles == tiled.triangles
+    assert tiled.gbo_stats["compute_tasks"] > 0
+    speedup = serial.compute_wall_s / tiled.compute_wall_s
+    assert speedup >= 2.0, (
+        f"compute speedup {speedup:.2f}x < 2x (serial "
+        f"{serial.compute_wall_s:.3f}s vs tiled "
+        f"{tiled.compute_wall_s:.3f}s)"
+    )
+
+
+def test_render_tiles_json(tile_runs, results_dir):
+    rows = [
+        scenario_row(name, workers, result)
+        for name, (workers, result) in tile_runs.items()
+    ]
+    _w, serial = tile_runs["serial"]
+    _w, tiled = tile_runs["tiled4"]
+    identical = image_bytes(serial) == image_bytes(tiled)
+    path = render_tiles_json(
+        results_dir, rows,
+        workload={
+            "test": "complex", "mode": "TG",
+            "scale": SCALE, "steps": STEPS,
+        },
+        speedup_compute=serial.compute_wall_s / tiled.compute_wall_s,
+        bit_identical=identical,
+    )
+    assert os.path.exists(path)

@@ -1,0 +1,379 @@
+"""ComputePool — the compute plane's worker pool.
+
+Generalizes the :class:`~repro.core.io_scheduler.IoScheduler`'s
+priority-queue/worker machinery from I/O callbacks to arbitrary compute
+tasks: tile rasterization jobs, per-(op, block) extraction kernels, and
+whatever future compute stages need fan-out. The pool is deliberately
+engine-agnostic — it knows nothing about units, records, or budgets —
+so ``repro.viz`` may use it directly (it is not one of the REP107
+engine-internal modules).
+
+Concurrency model
+-----------------
+
+* ``workers == 1`` is the paper-faithful serial build: no threads are
+  ever created and :meth:`ComputePool.submit` runs the task inline in
+  the caller, so call order *is* execution order, byte for byte.
+* ``workers > 1`` spawns daemon worker threads that drain a
+  :class:`~repro.structures.priorityqueue.PriorityQueue` of tasks
+  (highest priority first, FIFO within a priority — the same
+  submission-order discipline the renderer's deterministic compositing
+  relies on).
+* :meth:`ComputeTask.wait` *helps*: if the awaited task is still
+  queued, the waiting thread steals and runs it instead of blocking —
+  the caller acts as an extra worker, the pool makes progress even if
+  :meth:`start` was never called, and a 1-core host pays no
+  idle-waiting penalty.
+
+The pool lock is a **leaf** in the engine's lock order: tasks always
+execute with the pool lock released, so task bodies are free to take
+the engine or record locks (extraction kernels do exactly that).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.analysis.primitives import (
+    TrackedCondition,
+    TrackedLock,
+    make_held_checker,
+)
+from repro.analysis.races import guarded_by
+from repro.core.stats import GodivaStats
+from repro.errors import ComputePoolClosedError
+
+#: ComputeTask lifecycle states.
+PENDING = "pending"      # in the queue (or being submitted)
+RUNNING = "running"      # a worker (or a stealing waiter) owns it
+DONE = "done"            # finished; ``result`` is valid
+FAILED = "failed"        # the callable raised; ``error`` is set
+CANCELLED = "cancelled"  # still queued when the pool closed
+
+_TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class ComputeTask:
+    """One submitted unit of compute work (a future).
+
+    State transitions and the ``result``/``error`` fields are guarded by
+    the owning pool's lock; :meth:`wait` is the only blocking API.
+    """
+
+    __slots__ = ("_pool", "_fn", "_args", "_kwargs", "task_id",
+                 "priority", "state", "result", "error")
+
+    def __init__(self, pool: "ComputePool", fn: Callable[..., Any],
+                 args: tuple, kwargs: dict, task_id: int,
+                 priority: float) -> None:
+        self._pool = pool
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self.task_id = task_id
+        self.priority = priority
+        self.state = PENDING
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self) -> Any:
+        """Block until the task finishes and return its result.
+
+        Re-raises the task's exception if it failed, and raises
+        :class:`~repro.errors.ComputePoolClosedError` if the pool shut
+        down while the task was still queued. If the task is still
+        queued when called, the waiting thread runs it itself.
+        """
+        return self._pool._wait(self)
+
+    @property
+    def done(self) -> bool:
+        """Whether the task reached a terminal state (unsynchronized
+        peek; use :meth:`wait` to rendezvous)."""
+        return self.state in _TERMINAL
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ComputeTask #{self.task_id} {self.state}>"
+
+
+@guarded_by("_queue", "_closed", "_next_id", lock="_lock")
+class ComputePool:
+    """Priority-ordered compute worker pool with helping waiters.
+
+    Parameters
+    ----------
+    workers:
+        Worker thread count; 1 (the default) is the serial build — no
+        threads, tasks run inline at submission.
+    name:
+        Thread-name prefix for the pool's workers.
+    lock, cond:
+        Injectable lock/condition pair (tests); a private tracked pair
+        is created when omitted. The pool lock is a leaf: no task body
+        runs under it.
+    stats:
+        A :class:`GodivaStats` sink for the ``compute_*`` counters; a
+        private instance is created when omitted.
+    clock:
+        Monotonic-seconds callable used for task timing.
+    queue:
+        Injectable pending-task queue; defaults to a fresh
+        :class:`~repro.structures.priorityqueue.PriorityQueue`.
+    thread_factory:
+        Injectable ``threading.Thread``-compatible factory.
+    spawn_threads:
+        Worker *threads* to spawn at :meth:`start` (clamped to
+        ``workers``). Default None auto-sizes to
+        ``min(workers, cpu_count) - 1``: a waiting submitter helps, so
+        the thread complement plus the helping caller saturates the
+        host without oversubscribing it — on a single-core host no
+        threads are spawned and the helping caller runs every task
+        itself, same results, no scheduler churn. Tests pass an
+        explicit count to force the threaded paths anywhere.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        name: str = "godiva-compute",
+        lock: Optional[object] = None,
+        cond: Optional[object] = None,
+        stats: Optional[GodivaStats] = None,
+        clock: Callable[[], float] = time.monotonic,
+        queue: Optional[object] = None,
+        thread_factory: Callable[..., threading.Thread] = threading.Thread,
+        spawn_threads: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if lock is None:
+            lock = TrackedLock(f"ComputePool._lock@{id(self):#x}")
+            cond = TrackedCondition(lock)
+        self._lock = lock
+        self._cond = cond
+        self._check_locked = make_held_checker(lock, "ComputePool helper")
+        self._clock = clock
+        self.stats = stats if stats is not None else GodivaStats()
+        if queue is None:
+            from repro.structures.priorityqueue import PriorityQueue
+
+            queue = PriorityQueue()
+        self._queue = queue
+        self._workers = int(workers)
+        self._name = name
+        self._thread_factory = thread_factory
+        self._spawn_threads = spawn_threads
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._closed = False
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (no-op for the serial build and when
+        already started)."""
+        with self._lock:
+            if self._started or self._closed or self._workers == 1:
+                self._started = True
+                return
+            self._started = True
+            if self._spawn_threads is not None:
+                count = max(0, min(self._spawn_threads, self._workers))
+            else:
+                count = max(
+                    0, min(self._workers, os.cpu_count() or 1) - 1
+                )
+        for index in range(count):
+            thread = self._thread_factory(
+                target=self._work_loop,
+                name=f"{self._name}-{index}", daemon=True,
+            )
+            self._threads.append(thread)
+        for thread in self._threads:
+            thread.start()
+
+    def close(self) -> None:
+        """Shut the pool down: cancel queued tasks, join the workers.
+
+        Idempotent. Tasks already running complete normally and their
+        waiters still receive results; tasks still queued move to
+        ``CANCELLED`` and their waiters raise
+        :class:`~repro.errors.ComputePoolClosedError`.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            while self._queue:
+                task_obj: ComputeTask = self._queue.pop()
+                task_obj.state = CANCELLED
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    def __enter__(self) -> "ComputePool":
+        """Context-manager entry: starts the workers."""
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: closes the pool."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Configured worker count (1 = serial inline execution)."""
+        return self._workers
+
+    @property
+    def parallel(self) -> bool:
+        """Whether submitted tasks may run on other threads."""
+        return self._workers > 1
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed its cancel phase."""
+        with self._lock:
+            return self._closed
+
+    @property
+    def threads(self) -> List[threading.Thread]:
+        """The live worker threads (empty in the serial build)."""
+        return list(self._threads)
+
+    def queue_len(self) -> int:
+        """Tasks currently pending. Lock held."""
+        self._check_locked()
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., Any], *args: Any,
+               priority: float = 0.0, **kwargs: Any) -> ComputeTask:
+        """Queue ``fn(*args, **kwargs)`` and return its task.
+
+        In the serial build the call runs inline before returning, so
+        submission order is execution order. With workers, the task
+        joins the priority queue (highest first, FIFO within a
+        priority) and runs on whichever worker — or helping waiter —
+        pops it.
+        """
+        with self._cond:
+            if self._closed:
+                raise ComputePoolClosedError(
+                    "submit on a closed ComputePool"
+                )
+            task = ComputeTask(self, fn, args, kwargs,
+                               task_id=self._next_id, priority=priority)
+            self._next_id += 1
+            if self._workers > 1:
+                task.state = PENDING
+                self._queue.push(task, priority=priority)
+                depth = len(self._queue)
+                if depth > self.stats.compute_queue_depth_peak:
+                    self.stats.compute_queue_depth_peak = depth
+                self._cond.notify_all()
+                return task
+            task.state = RUNNING
+        # Serial build: execute inline, outside the lock.
+        self._execute(task)
+        return task
+
+    def map(self, fn: Callable[..., Any], items: Iterable[Any],
+            priority: float = 0.0) -> List[Any]:
+        """Submit ``fn(item)`` for every item and wait for all results.
+
+        Results come back in item order regardless of execution order.
+        The first failing task's exception is re-raised (after every
+        task was submitted, so no work is silently dropped).
+        """
+        tasks = [self.submit(fn, item, priority=priority)
+                 for item in items]
+        return [task.wait() for task in tasks]
+
+    def wait_all(self, tasks: Iterable[ComputeTask]) -> List[Any]:
+        """Wait for every task; returns results in the given order."""
+        return [task.wait() for task in tasks]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _wait(self, task: ComputeTask) -> Any:
+        """Blocking rendezvous with ``task``, helping while it blocks.
+
+        While the target is unfinished the waiter acts as an extra
+        worker: it pops and runs pending tasks (highest priority first
+        — possibly the target itself), and only sleeps when the queue
+        is empty and the target is running on another thread. The pool
+        therefore progresses even if :meth:`start` was never called,
+        and a waiting thread never idles while work is queued — on a
+        single-core host the waiter ends up doing most of the work
+        itself, which is exactly the cheap path. Helping assumes task
+        bodies do not themselves wait on other compute tasks (none
+        do); such a task would recurse on the waiter's stack.
+        """
+        while True:
+            with self._cond:
+                while task.state == RUNNING and not self._queue:
+                    self._cond.wait()
+                if task.state in _TERMINAL:
+                    if task.state == CANCELLED:
+                        raise ComputePoolClosedError(
+                            f"task #{task.task_id} cancelled by pool "
+                            f"close"
+                        )
+                    if task.state == FAILED:
+                        raise task.error
+                    return task.result
+                # Work is pending: help. Pop the best task (FIFO within
+                # a priority, like the workers) rather than necessarily
+                # the target — the waiter needs the queue drained either
+                # way, and priority order is preserved.
+                steal: ComputeTask = self._queue.pop()
+                steal.state = RUNNING
+                self.stats.compute_steals += 1
+            self._execute(steal)
+
+    def _work_loop(self) -> None:
+        """Worker main loop: drain the priority queue until close."""
+        while True:
+            with self._cond:
+                while not self._closed and not self._queue:
+                    self._cond.wait()
+                if self._closed:
+                    return
+                task: ComputeTask = self._queue.pop()
+                task.state = RUNNING
+            self._execute(task)
+
+    def _execute(self, task: ComputeTask) -> None:
+        """Run a RUNNING task's callable (lock NOT held) and settle it."""
+        t0 = self._clock()
+        result: Any = None
+        error: Optional[BaseException] = None
+        try:
+            result = task._fn(*task._args, **task._kwargs)
+        except BaseException as exc:
+            error = exc
+        elapsed = self._clock() - t0
+        with self._cond:
+            if error is not None:
+                task.error = error
+                task.state = FAILED
+            else:
+                task.result = result
+                task.state = DONE
+            self.stats.compute_tasks += 1
+            self.stats.compute_task_seconds += elapsed
+            self._cond.notify_all()

@@ -22,6 +22,7 @@ import numpy as np
 from repro.analysis.primitives import TrackedCondition, TrackedLock
 from repro.analysis.races import guarded_by
 from repro.core.cache import EvictionPolicy
+from repro.core.compute import ComputePool
 from repro.core.derived import DerivedCache
 from repro.core.io_scheduler import IoScheduler
 from repro.core.memory import MemoryAccountant, parse_budget
@@ -56,7 +57,9 @@ class GBO:
     :class:`~repro.core.cache.EvictionPolicy` instance (the service
     layer injects a tenant-aware one);
     ``derived_cache=False`` disables the budget-charged derived-data
-    memo cache (:attr:`derived`); ``clock``
+    memo cache (:attr:`derived`); ``compute_workers`` sizes the
+    compute plane's worker pool (:attr:`compute`; 1 = the
+    paper-faithful serial build — tasks run inline); ``clock``
     injects the monotonic-seconds source; ``unit_event_hook(event,
     unit_name, now)`` observes unit transitions under the engine lock
     (see :class:`repro.core.trace.UnitTracer`).
@@ -72,12 +75,15 @@ class GBO:
         io_workers: int = 1,
         eviction_policy: Union[str, "EvictionPolicy"] = "lru",
         derived_cache: bool = True,
+        compute_workers: int = 1,
         clock: Callable[[], float] = time.monotonic,
         unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
     ):
         budget = parse_budget(mem, mem_mb, mem_bytes)
         if io_workers < 1:
             raise ValueError("io_workers must be at least 1")
+        if compute_workers < 1:
+            raise ValueError("compute_workers must be at least 1")
 
         self._lock = TrackedLock(f"GBO._lock@{id(self):#x}")
         self._cond = TrackedCondition(self._lock)
@@ -106,7 +112,12 @@ class GBO:
         self._records.bind(charge=self._charge_bytes, release=self._release_bytes,
                            current_load_unit=self._io.current_load_unit,
                            touch_unit=self._touch_unit)
+        # The compute plane has its own leaf lock — pool tasks may take
+        # the engine lock (extraction kernels do), never the reverse.
+        self._compute = ComputePool(compute_workers, name="godiva-compute",
+                                    stats=self.stats, clock=clock)
         self._io.start()
+        self._compute.start()
         if type(self) is GBO:
             # Fast paths: shadow the pure delegate methods (kept below as
             # real defs for docs/overrides) with layer-bound equivalents —
@@ -140,6 +151,19 @@ class GBO:
         memoize derived arrays (see ``repro.core.derived``).
         """
         return self._derived
+
+    @property
+    def compute(self) -> ComputePool:
+        """The compute plane's worker pool (tile rasterization and
+        parallel extraction fan out here). With ``compute_workers=1``
+        the pool runs every task inline at submission — the
+        paper-faithful serial build."""
+        return self._compute
+
+    @property
+    def compute_workers(self) -> int:
+        """Configured compute-pool worker count (1 = serial inline)."""
+        return self._compute.workers
 
     @property
     def background_io(self) -> bool:
@@ -180,6 +204,9 @@ class GBO:
             self._cond.notify_all()
         self._records.begin_close()
         self._io.join()
+        # Pool tasks blocked on the engine observe _closing and fail
+        # fast, so this join cannot hang; queued tasks are cancelled.
+        self._compute.close()
         with self._cond:
             if self._derived is not None:
                 self._derived.clear_locked()
@@ -396,6 +423,30 @@ class GBO:
         with self._lock:
             unit = self._store.get(name)
             return unit is not None and unit.state is UnitState.RESIDENT
+
+    def try_wait_unit(self, name: str) -> bool:
+        """Non-blocking :meth:`wait_unit`: take a reference iff already
+        RESIDENT.
+
+        Atomically (under the engine lock) checks residency and, on a
+        hit, pins the unit exactly as a hitting ``wait_unit`` would
+        (wait-hit counted, reference taken, removed from the evictable
+        set) and returns True. Returns False — touching nothing — when
+        the unit is unknown, still loading, or was evicted. The frame-
+        pipelining driver uses this for its lookahead so overlap never
+        degrades into a blocking (and potentially deadlocking) load;
+        an ``is_resident()``-then-``wait_unit()`` pair would race
+        eviction between the two calls.
+        """
+        with self._lock:
+            self._check_open()
+            unit = self._store.get(name)
+            if unit is None or unit.state is not UnitState.RESIDENT:
+                return False
+            self.stats.wait_hits += 1
+            unit.ref_count += 1
+            self._mem.remove_evictable(name)
+            return True
 
     def list_units(self) -> List[Tuple[str, UnitState]]:
         """(name, state) for every known unit."""

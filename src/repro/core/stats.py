@@ -22,7 +22,9 @@ DEFAULT_WAIT_BINS = (0.001, 0.01, 0.1, 1.0, 10.0)
 
 @dataclass
 class GodivaStats:
-    """Counters and timers, all mutated under the GBO lock.
+    """Counters and timers, mutated under the GBO lock (the
+    ``compute_*`` counters under the :class:`~repro.core.compute.
+    ComputePool`'s own leaf lock — disjoint fields, same object).
 
     Times are in seconds of the GBO's injected clock (wall time by default,
     virtual time under the platform simulator's clock).
@@ -48,6 +50,12 @@ class GodivaStats:
     derived_misses: int = 0      # lookups that had to (re)compute
     derived_evictions: int = 0   # entries reclaimed for the budget
     derived_bytes: int = 0       # gauge: bytes currently cached
+
+    # --- compute pool (mutated under the ComputePool's own lock) ------
+    compute_tasks: int = 0            # tasks executed (workers + steals)
+    compute_steals: int = 0           # tasks run inline by a waiter
+    compute_task_seconds: float = 0.0  # summed task execution time
+    compute_queue_depth_peak: int = 0  # most tasks ever pending at once
 
     # --- prefetch queue ----------------------------------------------
     queue_depth_peak: int = 0   # most units ever pending at once

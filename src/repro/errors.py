@@ -72,6 +72,14 @@ class DatabaseClosedError(GodivaError):
     fails with this error rather than hanging."""
 
 
+class ComputePoolClosedError(GodivaError):
+    """A compute task was submitted to — or cancelled by — a closed
+    :class:`~repro.core.compute.ComputePool`.
+
+    Raised by ``submit`` after ``close``, and by ``ComputeTask.wait``
+    when the pool shut down while the task was still queued."""
+
+
 class AdmissionError(GodivaError):
     """The service cannot admit a session: the requested per-tenant
     carve-out would over-subscribe the global memory budget (and, in

@@ -344,6 +344,13 @@ class ServiceSession:
         """Whether the tenant's unit is currently RESIDENT."""
         return self._gbo.is_resident(self.scoped(name))
 
+    def try_wait_unit(self, name: str) -> bool:
+        """Non-blocking :meth:`wait_unit`: atomically pin the tenant's
+        unit iff already RESIDENT (True), else touch nothing (False)."""
+        with self._lock:
+            self._check_open_locked()
+        return self._gbo.try_wait_unit(self.scoped(name))
+
     def unit_priority(self, name: str) -> float:
         """The tenant unit's stored prefetch priority."""
         return self._gbo.unit_priority(self.scoped(name))
@@ -475,6 +482,12 @@ class ServiceSession:
         return TenantDerivedView(cache, self.tenant)
 
     @property
+    def compute(self):
+        """The shared engine's compute-plane worker pool (tenants share
+        its workers the way they share the I/O pool)."""
+        return self._gbo.compute
+
+    @property
     def stats(self) -> GodivaStats:
         """The shared engine's stats sink (global counters)."""
         return self._gbo.stats
@@ -504,7 +517,8 @@ class GodivaService:
 
     Construction mirrors :class:`~repro.core.database.GBO` (one
     ``mem``/``mem_mb``/``mem_bytes`` budget spelling, ``io_workers``,
-    ``eviction_policy``, ``derived_cache``); the service always runs
+    ``eviction_policy``, ``derived_cache``, ``compute_workers``); the
+    service always runs
     the *TG* build (background I/O) and wraps the chosen eviction
     policy in a :class:`~repro.service.tenancy.TenantAwareEvictionPolicy`
     so carve-out floors shape victim selection.
@@ -526,6 +540,7 @@ class GodivaService:
         io_workers: int = 1,
         eviction_policy: Union[str, EvictionPolicy] = "lru",
         derived_cache: bool = True,
+        compute_workers: int = 1,
         client_workers: int = 8,
         clock: Callable[[], float] = time.monotonic,
         unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
@@ -539,8 +554,8 @@ class GodivaService:
             mem, mem_mb=mem_mb, mem_bytes=mem_bytes,
             background_io=True, io_workers=io_workers,
             eviction_policy=TenantAwareEvictionPolicy(base, self._ledger),
-            derived_cache=derived_cache, clock=clock,
-            unit_event_hook=unit_event_hook,
+            derived_cache=derived_cache, compute_workers=compute_workers,
+            clock=clock, unit_event_hook=unit_event_hook,
         )
         self._lock = self._gbo._lock
         self._cond = self._gbo._cond
@@ -718,6 +733,11 @@ class GodivaService:
     def io_workers(self) -> int:
         """Number of shared background I/O workers."""
         return self._gbo.io_workers
+
+    @property
+    def compute(self):
+        """The shared engine's compute-plane worker pool."""
+        return self._gbo.compute
 
     def session_count(self) -> int:
         """Number of live sessions."""

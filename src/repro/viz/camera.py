@@ -89,6 +89,7 @@ class Camera:
                     "fov_deg": self.fov_deg,
                     "width": self.width,
                     "height": self.height,
+                    "near": self.near,
                 },
                 f,
                 indent=1,
@@ -105,19 +106,26 @@ class Camera:
             fov_deg=float(data["fov_deg"]),
             width=int(data["width"]),
             height=int(data["height"]),
+            # Files written before the near plane was persisted lack the
+            # key; fall back to the dataclass default.
+            near=float(data.get("near", 0.01)),
         )
 
     @classmethod
-    def fit_bounds(cls, lo, hi, width: int = 320, height: int = 240
-                   ) -> "Camera":
-        """A camera that comfortably frames an axis-aligned bounding box."""
+    def fit_bounds(cls, lo, hi, width: int = 320, height: int = 240,
+                   fov_deg: float = 40.0) -> "Camera":
+        """A camera that comfortably frames an axis-aligned bounding box.
+
+        ``fov_deg`` sets both the framing distance *and* the returned
+        camera's field of view, so the two cannot drift apart.
+        """
         lo = np.asarray(lo, dtype=np.float64)
         hi = np.asarray(hi, dtype=np.float64)
         center = (lo + hi) / 2
         radius = float(np.linalg.norm(hi - lo)) / 2 or 1.0
         # Far enough that the bounding sphere fits the vertical FOV
         # with some margin (the horizontal FOV is wider still).
-        fov = math.radians(40.0)
+        fov = math.radians(fov_deg)
         distance = radius * (1.15 / math.tan(fov / 2) + 1.0)
         direction = np.array([1.0, 0.8, 0.6])
         direction /= np.linalg.norm(direction)
@@ -125,6 +133,7 @@ class Camera:
             position=tuple(center + distance * direction),
             look_at=tuple(center),
             up=(0.0, 0.0, 1.0),
+            fov_deg=fov_deg,
             width=width,
             height=height,
         )

@@ -59,6 +59,16 @@ class SnapshotData:
         """
         return None
 
+    def parallel_extract_safe(self) -> bool:
+        """Whether per-(op, block) extraction may run on compute-pool
+        threads. False (the default) keeps extraction on the calling
+        thread — correct for backends with per-op mutable state such as
+        the original Voyager's re-reading grid. GODIVA-backed data
+        returns True: its reads go through the engine lock and its
+        derived cache tolerates racing computes.
+        """
+        return False
+
     def block_ids(self) -> List[str]:
         raise NotImplementedError
 
@@ -118,16 +128,43 @@ class PipelineResult:
     op_triangles: List[int] = field(default_factory=list)
 
 
+@dataclass
+class FramePlan:
+    """In-flight state of one snapshot's frame, between
+    :meth:`Pipeline.begin` and :meth:`Pipeline.finish`.
+
+    Either ``cached`` holds the memoized frame (nothing left to do), or
+    ``tasks`` holds the in-flight extraction futures (op-major, block-
+    minor, mirroring the serial loop order), or both are None and
+    :meth:`Pipeline.finish` extracts synchronously.
+    """
+
+    data: SnapshotData
+    frame_key: Optional[tuple]
+    cache: Optional[object]
+    #: Memoized ``(image, op_triangles)`` when the frame cache hit.
+    cached: Optional[tuple] = None
+    #: One list of ComputeTask per op (None = extract synchronously).
+    tasks: Optional[List[List[object]]] = None
+
+
 class Pipeline:
     """Executes graphics operations over snapshot data and renders."""
 
     def __init__(self, gops: GraphicsOps, camera: Optional[Camera] = None,
-                 render: bool = True, colorbar: bool = False):
+                 render: bool = True, colorbar: bool = False,
+                 pool: Optional[object] = None):
         self.gops = gops
         self.camera = camera or Camera()
         self.render = render
         #: Paint the first op's colormap as a legend strip on each frame.
         self.colorbar = colorbar
+        #: Optional :class:`~repro.core.compute.ComputePool`. When it is
+        #: parallel, tile rasterization fans out to it, and — for data
+        #: backends declaring :meth:`SnapshotData.parallel_extract_safe`
+        #: — per-(op, block) extraction does too, which is what lets
+        #: the driver overlap extraction of t+1 with rasterization of t.
+        self.pool = pool
 
     def process(self, data: SnapshotData) -> PipelineResult:
         """Run every op over every block; returns the composited image.
@@ -141,23 +178,60 @@ class Pipeline:
         revisiting a time-step whose bits have not changed re-renders
         nothing (the memo is keyed by op list, camera, and the tokens,
         so any change to inputs or view recomputes).
+
+        Equivalent to ``finish(begin(data))``; drivers that pipeline
+        frames across snapshots call the two halves separately.
+        """
+        return self.finish(self.begin(data))
+
+    def begin(self, data: SnapshotData) -> FramePlan:
+        """Start a frame: probe the frame cache and, on a miss with a
+        parallel pool and a thread-safe backend, submit per-(op, block)
+        extraction to the pool (below tile priority, so lookahead work
+        never starves the current frame's rasterization). Frame-cache
+        hits skip the pool entirely.
         """
         frame_key = self._frame_key(data)
         cache = data.derived_cache() if frame_key is not None else None
         if cache is not None:
             cached = cache.get(frame_key)
             if cached is not None:
-                image, op_triangles = cached
-                return PipelineResult(
-                    image=image,
-                    triangles=sum(op_triangles),
-                    op_triangles=list(op_triangles),
-                )
-        renderer = Renderer(self.camera) if self.render else None
+                return FramePlan(data, frame_key, cache, cached=cached)
+        pool = self.pool
+        tasks: Optional[List[List[object]]] = None
+        if (pool is not None and getattr(pool, "parallel", False)
+                and data.parallel_extract_safe()):
+            tasks = []
+            for op in self.gops:
+                data.begin_op(op)
+                tasks.append([
+                    pool.submit(self._extract, data, block_id, op,
+                                priority=-1.0)
+                    for block_id in data.block_ids()
+                ])
+        return FramePlan(data, frame_key, cache, tasks=tasks)
+
+    def finish(self, plan: FramePlan) -> PipelineResult:
+        """Complete a frame begun with :meth:`begin`: collect (or run)
+        the extractions, rasterize, and memoize the composite."""
+        if plan.cached is not None:
+            image, op_triangles = plan.cached
+            return PipelineResult(
+                image=image,
+                triangles=sum(op_triangles),
+                op_triangles=list(op_triangles),
+            )
+        renderer = (Renderer(self.camera, pool=self.pool)
+                    if self.render else None)
         op_triangles: List[int] = []
         total = 0
-        for op in self.gops:
-            soup = self.extract(data, op)
+        for index, op in enumerate(self.gops):
+            if plan.tasks is not None:
+                soup = TriangleSoup.concatenate(
+                    [task.wait() for task in plan.tasks[index]]
+                )
+            else:
+                soup = self.extract(plan.data, op)
             op_triangles.append(soup.n_triangles)
             total += soup.n_triangles
             if renderer is not None and soup.n_triangles:
@@ -168,8 +242,8 @@ class Pipeline:
         if renderer is not None and self.colorbar:
             renderer.draw_colorbar(Colormap(self.gops.ops[0].colormap))
         image = renderer.image() if renderer is not None else None
-        if cache is not None:
-            cache.put(frame_key, (image, tuple(op_triangles)))
+        if plan.cache is not None:
+            plan.cache.put(plan.frame_key, (image, tuple(op_triangles)))
         return PipelineResult(
             image=image, triangles=total, op_triangles=op_triangles
         )

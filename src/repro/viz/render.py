@@ -4,11 +4,31 @@ Projects triangle soups through a :class:`~repro.viz.camera.Camera`,
 shades them with per-vertex colors (Gouraud) modulated by a single
 directional light, and composites into an RGB image — the VTK-replacement
 needed to make Voyager produce actual image files.
+
+Two rasterization paths produce byte-for-byte identical frames:
+
+* the **serial** per-triangle loop (the original implementation, used
+  when no parallel :class:`~repro.core.compute.ComputePool` is
+  attached), and
+* the **tiled** path: triangles bin to screen-space tiles, each tile
+  composites independently (one pool task per tile, disjoint frame/
+  z-buffer regions), and within a tile triangles are evaluated in
+  chunked vectorized batches that preserve submission order.
+
+Determinism argument for the tiled path: per-pixel floats are computed
+with the same operands in the same association order as the serial
+loop (pixel centers are exact ``integer + 0.5`` values either way), the
+per-chunk winner is selected with ``argmin`` — which returns the
+*first* index attaining the minimum, i.e. the earliest-submitted
+triangle — and the z-test against the tile buffer is the same strict
+``pixel_z < z`` comparison, so later triangles never overwrite an
+equal-depth earlier one. An explicit per-triangle bbox mask confines
+evaluation to exactly the pixels the serial loop touches.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -17,13 +37,22 @@ from repro.viz.colormap import Colormap
 from repro.viz.geometry import triangle_normals
 from repro.viz.isosurface import TriangleSoup
 
+#: Screen-space tile edge in pixels — the parallel compositing grain.
+TILE_SIZE = 64
+#: Triangles per vectorized batch inside a tile. Marching-tets emits
+#: triangles in cell order, so consecutive triangles are spatially
+#: coherent and a small chunk's union bbox stays tight.
+CHUNK_SIZE = 16
+
 
 class Renderer:
     """Accumulates shaded triangles into an image with a z-buffer."""
 
     def __init__(self, camera: Camera,
                  background: Sequence[float] = (0.08, 0.08, 0.12),
-                 light_dir: Sequence[float] = (0.4, 0.3, 0.85)):
+                 light_dir: Sequence[float] = (0.4, 0.3, 0.85),
+                 pool: Optional[object] = None,
+                 tile_size: int = TILE_SIZE):
         self.camera = camera
         height, width = camera.height, camera.width
         bg = np.asarray(background, dtype=np.float64)
@@ -31,8 +60,17 @@ class Renderer:
         self._zbuffer = np.full((height, width), np.inf)
         light = np.asarray(light_dir, dtype=np.float64)
         self._light = light / np.linalg.norm(light)
+        #: Optional :class:`~repro.core.compute.ComputePool`; the tiled
+        #: parallel path activates only when ``pool.parallel`` is true.
+        self._pool = pool
+        self._tile = int(tile_size)
         #: Total triangles submitted (pipeline statistics).
         self.triangles_drawn = 0
+        #: Triangles dropped by the near-plane cull. Any triangle with
+        #: at least one vertex at depth <= near is culled *whole* —
+        #: geometry crossing the near plane is not clipped (a known
+        #: limitation); this counter makes the loss observable.
+        self.triangles_culled = 0
 
     def draw(self, soup: TriangleSoup, colormap: Colormap,
              vmin: Optional[float] = None,
@@ -71,15 +109,22 @@ class Renderer:
     def _rasterize(self, vertices: np.ndarray,
                    colors: np.ndarray) -> None:
         """Scanline-free barycentric rasterization, one triangle at a
-        time with vectorized pixel coverage."""
+        time with vectorized pixel coverage (serial path), or tiled in
+        parallel when a multi-worker pool is attached."""
         height, width = self._zbuffer.shape
         flat = vertices.reshape(-1, 3)
         xy, depth = self.camera.project(flat)
         xy = xy.reshape(-1, 3, 2)
         depth = depth.reshape(-1, 3)
 
-        # Cull triangles behind the near plane.
+        # Cull triangles behind the near plane (whole triangles — no
+        # clipping; see triangles_culled).
         visible = np.all(depth > self.camera.near, axis=1)
+        self.triangles_culled += int(visible.size - int(visible.sum()))
+        pool = self._pool
+        if pool is not None and getattr(pool, "parallel", False):
+            self._rasterize_tiled(xy, depth, colors, visible, pool)
+            return
         for tri_index in np.nonzero(visible)[0]:
             pts = xy[tri_index]                            # (3, 2)
             zs = depth[tri_index]                          # (3,)
@@ -120,6 +165,172 @@ class Renderer:
             fslice = self._frame[y_min:y_max + 1, x_min:x_max + 1]
             fslice[closer] = r[closer]
 
+    # ------------------------------------------------------------------
+    # Tiled parallel path
+    # ------------------------------------------------------------------
+    def _rasterize_tiled(self, xy: np.ndarray, depth: np.ndarray,
+                         colors: np.ndarray, visible: np.ndarray,
+                         pool) -> None:
+        """Bin visible triangles to screen tiles and composite each tile
+        as an independent pool task (disjoint buffer regions, so tasks
+        share no mutable state and need no locks). One barrier per draw
+        call keeps inter-draw ordering identical to the serial path."""
+        height, width = self._zbuffer.shape
+        index = np.nonzero(visible)[0]
+        if index.size == 0:
+            return
+        pts = xy[index]                                # (n, 3, 2)
+        zs = depth[index]                              # (n, 3)
+        cols = colors[index]                           # (n, 3, 3)
+        x = pts[:, :, 0]
+        y = pts[:, :, 1]
+        x_min = np.maximum(
+            np.floor(x.min(axis=1)).astype(np.int64), 0
+        )
+        x_max = np.minimum(
+            np.ceil(x.max(axis=1)).astype(np.int64), width - 1
+        )
+        y_min = np.maximum(
+            np.floor(y.min(axis=1)).astype(np.int64), 0
+        )
+        y_max = np.minimum(
+            np.ceil(y.max(axis=1)).astype(np.int64), height - 1
+        )
+        denom = (
+            (y[:, 1] - y[:, 2]) * (x[:, 0] - x[:, 2])
+            + (x[:, 2] - x[:, 1]) * (y[:, 0] - y[:, 2])
+        )
+        # Same skips the serial loop applies: off-screen bboxes and
+        # screen-degenerate triangles contribute nothing.
+        drawable = (
+            (x_min <= x_max) & (y_min <= y_max)
+            & (np.abs(denom) >= 1e-12)
+        )
+        keep = np.nonzero(drawable)[0]   # ascending: submission order
+        if keep.size == 0:
+            return
+        pts = pts[keep]
+        zs = zs[keep]
+        cols = cols[keep]
+        x_min = x_min[keep]
+        x_max = x_max[keep]
+        y_min = y_min[keep]
+        y_max = y_max[keep]
+        denom = denom[keep]
+        tile = self._tile
+        tx_lo = x_min // tile
+        tx_hi = x_max // tile
+        ty_lo = y_min // tile
+        ty_hi = y_max // tile
+        tasks: List[object] = []
+        for ty in range((height + tile - 1) // tile):
+            row = (ty_lo <= ty) & (ty <= ty_hi)
+            if not row.any():
+                continue
+            for tx in range((width + tile - 1) // tile):
+                mask = row & (tx_lo <= tx) & (tx <= tx_hi)
+                if not mask.any():
+                    continue
+                # nonzero is ascending, so each tile sees its triangles
+                # in original submission order.
+                tri = np.nonzero(mask)[0]
+                tasks.append(pool.submit(
+                    self._composite_tile, ty, tx, tri, pts, zs, cols,
+                    x_min, x_max, y_min, y_max, denom,
+                ))
+        for task in tasks:
+            task.wait()
+
+    def _composite_tile(self, ty: int, tx: int, tri: np.ndarray,
+                        pts: np.ndarray, zs: np.ndarray,
+                        cols: np.ndarray, x_min: np.ndarray,
+                        x_max: np.ndarray, y_min: np.ndarray,
+                        y_max: np.ndarray,
+                        denom: np.ndarray) -> None:
+        """Composite one tile's triangles in submission order.
+
+        Triangles are evaluated in chunks of CHUNK_SIZE over the chunk's
+        union bbox (clipped to the tile); within a chunk the depth
+        winner per pixel is the *first* minimum (``argmin``), and
+        chunks apply in ascending submission order with the strict
+        ``z < zbuffer`` test — together exactly the serial loop's
+        first-wins-on-ties compositing rule.
+        """
+        tile = self._tile
+        height, width = self._zbuffer.shape
+        py0 = ty * tile
+        py1 = min(py0 + tile, height) - 1
+        px0 = tx * tile
+        px1 = min(px0 + tile, width) - 1
+        # Tile-wide pixel index vectors, sliced per chunk below.
+        tix = np.arange(px0, px1 + 1)
+        tiy = np.arange(py0, py1 + 1)
+        for start in range(0, tri.size, CHUNK_SIZE):
+            chunk = tri[start:start + CHUNK_SIZE]
+            ux0 = max(int(x_min[chunk].min()), px0)
+            ux1 = min(int(x_max[chunk].max()), px1)
+            uy0 = max(int(y_min[chunk].min()), py0)
+            uy1 = min(int(y_max[chunk].max()), py1)
+            ix = tix[ux0 - px0:ux1 + 1 - px0]
+            iy = tiy[uy0 - py0:uy1 + 1 - py0]
+            # Pixel centers: exact integer + 0.5 floats, the same
+            # values the serial loop's meshgrid produces.
+            gx = (ix + 0.5)[None, None, :]
+            gy = (iy + 0.5)[None, :, None]
+            ixg = ix[None, None, :]
+            iyg = iy[None, :, None]
+            ztile = self._zbuffer[uy0:uy1 + 1, ux0:ux1 + 1]
+            ftile = self._frame[uy0:uy1 + 1, ux0:ux1 + 1]
+            p = pts[chunk]
+            x0 = p[:, 0, 0][:, None, None]
+            y0 = p[:, 0, 1][:, None, None]
+            x1 = p[:, 1, 0][:, None, None]
+            y1 = p[:, 1, 1][:, None, None]
+            x2 = p[:, 2, 0][:, None, None]
+            y2 = p[:, 2, 1][:, None, None]
+            d = denom[chunk][:, None, None]
+            w0 = ((y1 - y2) * (gx - x2) + (x2 - x1) * (gy - y2)) / d
+            w1 = ((y2 - y0) * (gx - x2) + (x0 - x2) * (gy - y2)) / d
+            w2 = 1.0 - w0 - w1
+            inside = (w0 >= 0) & (w1 >= 0) & (w2 >= 0)
+            # Confine each triangle to its own bbox — the serial loop
+            # never evaluates coverage outside it, and float roundoff
+            # could otherwise admit hull-adjacent pixels.
+            mx = (ixg >= x_min[chunk][:, None, None]) \
+                & (ixg <= x_max[chunk][:, None, None])
+            my = (iyg >= y_min[chunk][:, None, None]) \
+                & (iyg <= y_max[chunk][:, None, None])
+            inside &= mx & my
+            z = zs[chunk]
+            a0 = w0 / z[:, 0][:, None, None]
+            a1 = w1 / z[:, 1][:, None, None]
+            a2 = w2 / z[:, 2][:, None, None]
+            inv_z = a0 + a1 + a2
+            pixel_z = 1.0 / np.where(inv_z > 0, inv_z, np.inf)
+            cand = np.where(inside, pixel_z, np.inf)
+            # First index attaining the minimum == earliest submission:
+            # the serial strict-less tie-break, vectorized.
+            k = np.argmin(cand, axis=0)[None, :, :]
+            zmin = np.take_along_axis(cand, k, 0)[0]
+            better = zmin < ztile
+            if not better.any():
+                continue
+            aw0 = np.take_along_axis(a0, k, 0)[0]
+            aw1 = np.take_along_axis(a1, k, 0)[0]
+            aw2 = np.take_along_axis(a2, k, 0)[0]
+            cw = cols[chunk][k[0]]                 # (uh, uw, 3, 3)
+            # Same association order as the serial color blend. Lanes
+            # that lost (zmin == inf) may produce inf/nan here; they
+            # are masked out by `better`.
+            with np.errstate(invalid="ignore"):
+                r = (
+                    aw0[..., None] * cw[:, :, 0, :]
+                    + aw1[..., None] * cw[:, :, 1, :]
+                    + aw2[..., None] * cw[:, :, 2, :]
+                ) * zmin[..., None]
+            ztile[better] = zmin[better]
+            ftile[better] = r[better]
+
     def draw_colorbar(self, colormap: Colormap,
                       width: int = 12,
                       margin: int = 4) -> None:
@@ -132,6 +343,8 @@ class Renderer:
         height, frame_width = self._zbuffer.shape
         if width + 2 * margin >= frame_width:
             raise ValueError("colorbar wider than the frame")
+        if 2 * margin >= height:
+            raise ValueError("colorbar margins taller than the frame")
         x0 = frame_width - margin - width
         # One color sample per row, high values on top.
         t = np.linspace(1.0, 0.0, height - 2 * margin)

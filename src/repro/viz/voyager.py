@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.compute import ComputePool
 from repro.core.database import GBO
 from repro.gen.snapshot import DatasetManifest, block_key, load_manifest
 from repro.io.disk import ENGLE_DISK, NULL_DISK, DiskProfile, IoStats
@@ -63,6 +64,12 @@ class VoyagerConfig:
     #: Memoize derived arrays/frames in the GBO's budget-charged derived
     #: cache (G/TG modes only; the O build has no cache plane).
     derived_cache: bool = True
+    #: Compute-plane worker pool size. 1 (the default) is the
+    #: paper-faithful serial build; >1 rasterizes screen-space tiles in
+    #: parallel and, in the G/TG modes, overlaps extraction of the next
+    #: snapshot with rasterization of the current one. Frames are
+    #: byte-for-byte identical to the serial build either way.
+    compute_workers: int = 1
     render: bool = True
     steps: Optional[int] = None          # limit snapshot count
     gops: Optional[GraphicsOps] = None   # overrides `test` if given
@@ -82,6 +89,8 @@ class VoyagerConfig:
             raise ValueError(
                 f"unknown mode {self.mode!r}; choose from {MODES}"
             )
+        if self.compute_workers < 1:
+            raise ValueError("compute_workers must be at least 1")
         if self.session is not None:
             self.mode = "TG"
 
@@ -230,6 +239,12 @@ class GodivaSnapshotData(SnapshotData):
         self._block_order = list(block_ids)
         self._derived = getattr(gbo, "derived", None)
 
+    def parallel_extract_safe(self) -> bool:
+        """True: buffer queries go through the engine lock and the
+        derived cache tolerates racing computes, so per-(op, block)
+        extraction may run on compute-pool threads."""
+        return True
+
     def block_ids(self) -> List[str]:
         return list(self._block_order)
 
@@ -323,23 +338,37 @@ class Voyager:
         per_snapshot: List[float] = []
         visible_io = 0.0
         triangles = 0
+        # The O build has no GBO (hence no engine-owned pool), but tile
+        # rasterization still parallelizes; extraction stays serial —
+        # DirectSnapshotData's per-op grid state is not thread-safe.
+        pool = (ComputePool(self.config.compute_workers,
+                            name="voyager-compute")
+                if self.config.compute_workers > 1 else None)
+        if pool is not None:
+            pool.start()
+        self.pipeline.pool = pool
         t_start = time.perf_counter()
-        for step in self._steps():
-            t0 = time.perf_counter()
-            data = DirectSnapshotData(
-                self.manifest.snapshot_paths(step),
-                stats=self.io_stats, profile=self.config.disk,
-                file_format=self.manifest.file_format,
-            )
-            try:
-                result = self.pipeline.process(data)
-            finally:
-                data.close()
-            visible_io += data.read_wall_s
-            triangles += result.triangles
-            self._maybe_write_image(step, result.image, images)
-            per_snapshot.append(time.perf_counter() - t0)
-        total = time.perf_counter() - t_start
+        try:
+            for step in self._steps():
+                t0 = time.perf_counter()
+                data = DirectSnapshotData(
+                    self.manifest.snapshot_paths(step),
+                    stats=self.io_stats, profile=self.config.disk,
+                    file_format=self.manifest.file_format,
+                )
+                try:
+                    result = self.pipeline.process(data)
+                finally:
+                    data.close()
+                visible_io += data.read_wall_s
+                triangles += result.triangles
+                self._maybe_write_image(step, result.image, images)
+                per_snapshot.append(time.perf_counter() - t0)
+            total = time.perf_counter() - t_start
+        finally:
+            self.pipeline.pool = None
+            if pool is not None:
+                pool.close()
         io = self.io_stats.snapshot()
         return VoyagerResult(
             mode="O",
@@ -370,6 +399,7 @@ class Voyager:
             io_workers=self.config.io_workers if multi_thread else 1,
             eviction_policy=self.config.eviction_policy,
             derived_cache=self.config.derived_cache,
+            compute_workers=self.config.compute_workers,
         ) as gbo:
             return self._drive_godiva(gbo, multi_thread=multi_thread)
 
@@ -397,25 +427,50 @@ class Voyager:
         # processing order (section 3.2).
         for step in dict.fromkeys(steps):
             gbo.add_unit(snapshot_unit_name(step), read_fn)
-        for visit, step in enumerate(steps):
-            t0 = time.perf_counter()
-            unit = snapshot_unit_name(step)
-            gbo.wait_unit(unit)
-            data = GodivaSnapshotData(
-                gbo,
-                self.manifest.snapshots[step].tsid,
-                self.manifest.block_ids,
-            )
-            result = self.pipeline.process(data)
-            triangles += result.triangles
-            self._maybe_write_image(step, result.image, images)
-            if last_visit[step] == visit:
-                # Batch mode knows the data is not needed again.
-                gbo.delete_unit(unit)
-            else:
-                gbo.finish_unit(unit)
-            per_snapshot.append(time.perf_counter() - t0)
-        total = time.perf_counter() - t_start
+        pool = getattr(gbo, "compute", None)
+        self.pipeline.pool = pool
+        # Frame pipelining: with a parallel pool, begin extraction of
+        # snapshot t+1 (low priority) while t rasterizes. The lookahead
+        # only fires when try_wait_unit pins an already-resident unit —
+        # never a blocking load, so a squeezed budget degrades to the
+        # serial schedule instead of deadlocking.
+        pipelining = pool is not None and getattr(pool, "parallel", False)
+        lookahead = None  # FramePlan for the next visit, unit pinned
+        try:
+            for visit, step in enumerate(steps):
+                t0 = time.perf_counter()
+                unit = snapshot_unit_name(step)
+                if lookahead is not None:
+                    plan = lookahead
+                    lookahead = None
+                else:
+                    gbo.wait_unit(unit)
+                    plan = self.pipeline.begin(GodivaSnapshotData(
+                        gbo,
+                        self.manifest.snapshots[step].tsid,
+                        self.manifest.block_ids,
+                    ))
+                if pipelining and visit + 1 < len(steps):
+                    nstep = steps[visit + 1]
+                    if gbo.try_wait_unit(snapshot_unit_name(nstep)):
+                        lookahead = self.pipeline.begin(
+                            GodivaSnapshotData(
+                                gbo,
+                                self.manifest.snapshots[nstep].tsid,
+                                self.manifest.block_ids,
+                            ))
+                result = self.pipeline.finish(plan)
+                triangles += result.triangles
+                self._maybe_write_image(step, result.image, images)
+                if last_visit[step] == visit:
+                    # Batch mode knows the data is not needed again.
+                    gbo.delete_unit(unit)
+                else:
+                    gbo.finish_unit(unit)
+                per_snapshot.append(time.perf_counter() - t0)
+            total = time.perf_counter() - t_start
+        finally:
+            self.pipeline.pool = None
         stats = gbo.stats.snapshot()
         io = self.io_stats.snapshot()
         if multi_thread:
@@ -474,6 +529,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--no-derived-cache", action="store_true",
                         help="disable the budget-charged derived-data "
                              "memo cache (G/TG modes)")
+    parser.add_argument("--compute-workers", type=int, default=1,
+                        help="compute-plane worker threads (tiled "
+                             "rasterization and frame pipelining; 1 = "
+                             "paper-faithful serial, bit-identical "
+                             "frames either way)")
     args = parser.parse_args(argv)
 
     config = VoyagerConfig(
@@ -483,6 +543,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mem_mb=args.mem_mb,
         io_workers=args.io_workers,
         derived_cache=not args.no_derived_cache,
+        compute_workers=args.compute_workers,
         out_dir=args.out,
         render=not args.no_render,
         steps=args.steps,

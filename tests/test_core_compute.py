@@ -1,0 +1,170 @@
+"""ComputePool: serial inline execution, workers, helping waiters,
+close semantics, and stats accounting.
+
+Marked ``races`` so the sanitizer job replays the threaded paths under
+the lockset race detector.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.compute import (
+    CANCELLED,
+    DONE,
+    ComputePool,
+    ComputeTask,
+)
+from repro.core.stats import GodivaStats
+from repro.errors import ComputePoolClosedError
+
+pytestmark = pytest.mark.races
+
+
+def test_workers_validated():
+    with pytest.raises(ValueError):
+        ComputePool(0)
+
+
+def test_serial_submit_runs_inline():
+    pool = ComputePool(1)
+    ran_on = []
+    task = pool.submit(lambda: ran_on.append(threading.current_thread()))
+    assert task.state == DONE
+    assert ran_on == [threading.main_thread()]
+    assert not pool.parallel
+    assert pool.workers == 1
+    assert pool.threads == []
+    pool.close()
+
+
+def test_serial_submission_order_is_execution_order():
+    pool = ComputePool(1)
+    order = []
+    for i in range(5):
+        pool.submit(order.append, i)
+    assert order == [0, 1, 2, 3, 4]
+    pool.close()
+
+
+def test_map_returns_results_in_item_order():
+    with ComputePool(4, spawn_threads=2) as pool:
+        assert pool.map(lambda x: x * x, range(6)) == [
+            0, 1, 4, 9, 16, 25]
+
+
+def test_task_error_reraised_at_wait():
+    def boom():
+        raise RuntimeError("task failed")
+
+    pool = ComputePool(1)
+    with pytest.raises(RuntimeError, match="task failed"):
+        pool.submit(boom).wait()
+    pool.close()
+
+
+def test_parallel_error_reraised_at_wait():
+    def boom():
+        raise RuntimeError("threaded failure")
+
+    with ComputePool(4, spawn_threads=2) as pool:
+        task = pool.submit(boom)
+        with pytest.raises(RuntimeError, match="threaded failure"):
+            task.wait()
+
+
+def test_waiter_helps_without_start():
+    # The pool progresses even when start() is never called: the
+    # waiting thread steals queued tasks and runs them itself.
+    stats = GodivaStats()
+    pool = ComputePool(4, stats=stats, spawn_threads=0)
+    pool.start()
+    tasks = [pool.submit(lambda x: x + 1, i) for i in range(8)]
+    assert pool.wait_all(tasks) == list(range(1, 9))
+    assert stats.compute_steals == 8
+    assert stats.compute_tasks == 8
+    pool.close()
+
+
+def test_waiter_helps_in_priority_order():
+    # A helping waiter pops highest-priority-first, FIFO within ties —
+    # the same discipline the worker loop follows.
+    order = []
+    pool = ComputePool(4, spawn_threads=0)
+    low = pool.submit(order.append, "low", priority=-1.0)
+    first = pool.submit(order.append, "first")
+    second = pool.submit(order.append, "second")
+    low.wait()
+    assert order == ["first", "second", "low"]
+    pool.wait_all([first, second])
+    pool.close()
+
+
+def test_threaded_pool_executes_all_tasks():
+    with ComputePool(4, spawn_threads=3) as pool:
+        results = pool.map(lambda x: x * 2, range(32))
+    assert results == [x * 2 for x in range(32)]
+
+
+def test_submit_after_close_raises():
+    pool = ComputePool(1)
+    pool.close()
+    with pytest.raises(ComputePoolClosedError):
+        pool.submit(lambda: None)
+
+
+def test_close_cancels_queued_tasks():
+    pool = ComputePool(4, spawn_threads=0)  # nothing drains the queue
+    task = pool.submit(lambda: 42)
+    pool.close()
+    assert task.state == CANCELLED
+    with pytest.raises(ComputePoolClosedError):
+        task.wait()
+
+
+def test_close_idempotent_and_joins_threads():
+    pool = ComputePool(4, spawn_threads=2)
+    pool.start()
+    threads = pool.threads
+    assert len(threads) == 2
+    pool.close()
+    pool.close()
+    assert pool.closed
+    assert all(not t.is_alive() for t in threads)
+    assert pool.threads == []
+
+
+def test_stats_count_tasks_and_time():
+    stats = GodivaStats()
+    clock = iter(range(100))
+    pool = ComputePool(1, stats=stats, clock=lambda: float(next(clock)))
+    pool.submit(lambda: None)
+    pool.submit(lambda: None)
+    assert stats.compute_tasks == 2
+    assert stats.compute_task_seconds == 2.0  # one tick per task
+    pool.close()
+
+
+def test_queue_depth_peak_tracked():
+    stats = GodivaStats()
+    pool = ComputePool(4, stats=stats, spawn_threads=0)
+    tasks = [pool.submit(lambda: None) for _ in range(5)]
+    assert stats.compute_queue_depth_peak == 5
+    pool.wait_all(tasks)
+    pool.close()
+
+
+def test_task_repr_and_done():
+    pool = ComputePool(1)
+    task = pool.submit(lambda: "x")
+    assert task.done
+    assert isinstance(task, ComputeTask)
+    assert "done" in repr(task)
+    pool.close()
+
+
+def test_context_manager_starts_and_closes():
+    with ComputePool(2, spawn_threads=1) as pool:
+        assert pool.parallel
+        assert pool.submit(lambda: 7).wait() == 7
+    assert pool.closed

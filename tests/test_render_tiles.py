@@ -1,0 +1,207 @@
+"""Bit-identity of the tiled-parallel compute plane.
+
+The contract under test (DESIGN.md, compute plane): for any op-set,
+memory budget, and mode, frames produced with ``compute_workers > 1``
+are **byte-for-byte identical** to the serial build's — tiling, chunked
+compositing, helping waiters, and frame pipelining change the schedule,
+never the pixels.
+
+Marked ``races`` so the sanitizer job replays the threaded paths under
+the lockset race detector and lock-order graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compute import ComputePool
+from repro.core.database import GBO
+from repro.errors import DatabaseClosedError
+from repro.viz.camera import Camera
+from repro.viz.colormap import Colormap
+from repro.viz.isosurface import TriangleSoup
+from repro.viz.render import Renderer
+from repro.viz.voyager import Voyager, VoyagerConfig
+
+pytestmark = pytest.mark.races
+
+
+def run_frames(manifest, test, compute_workers, mode="TG",
+               mem_mb=384.0, snapshot_indices=None):
+    """Run one Voyager pass, capturing every frame in memory."""
+    config = VoyagerConfig(
+        data_dir=manifest.directory,
+        test=test,
+        mode=mode,
+        mem_mb=mem_mb,
+        compute_workers=compute_workers,
+        render=True,
+        snapshot_indices=snapshot_indices,
+    )
+    voyager = Voyager(config)
+    frames = []
+    voyager._maybe_write_image = (
+        lambda step, image, images: frames.append(image.copy())
+    )
+    result = voyager.run()
+    return frames, result
+
+
+class TestVoyagerBitIdentity:
+    @pytest.mark.parametrize("test", ["simple", "medium", "complex"])
+    def test_tiled_parallel_matches_serial(self, small_dataset, test):
+        serial, _ = run_frames(small_dataset, test, 1)
+        tiled, result = run_frames(small_dataset, test, 4)
+        assert len(serial) == len(tiled) == 4
+        for a, b in zip(serial, tiled):
+            assert np.array_equal(a, b)
+        assert result.gbo_stats["compute_tasks"] > 0
+
+    def test_identity_under_squeezed_budget(self, small_dataset):
+        # A budget tight enough to force evictions between snapshots:
+        # the lookahead must degrade to the serial schedule (its
+        # try_wait_unit misses) without deadlocking or diverging.
+        serial, _ = run_frames(small_dataset, "complex", 1, mem_mb=24.0)
+        tiled, _ = run_frames(small_dataset, "complex", 4, mem_mb=24.0)
+        for a, b in zip(serial, tiled):
+            assert np.array_equal(a, b)
+
+    def test_identity_in_original_mode(self, small_dataset):
+        # The O build has no GBO; the standalone pool still tiles.
+        serial, _ = run_frames(small_dataset, "medium", 1, mode="O")
+        tiled, _ = run_frames(small_dataset, "medium", 4, mode="O")
+        for a, b in zip(serial, tiled):
+            assert np.array_equal(a, b)
+
+    def test_identity_across_modes(self, small_dataset):
+        o_frames, _ = run_frames(small_dataset, "simple", 4, mode="O")
+        tg_frames, _ = run_frames(small_dataset, "simple", 4, mode="TG")
+        for a, b in zip(o_frames, tg_frames):
+            assert np.array_equal(a, b)
+
+    def test_identity_with_revisits(self, small_dataset):
+        # Revisits exercise the frame cache (pool skipped entirely) and
+        # the finish/delete bookkeeping under the lookahead.
+        schedule = [0, 1, 0, 2, 2, 1]
+        serial, r1 = run_frames(small_dataset, "simple", 1,
+                                snapshot_indices=schedule)
+        tiled, r4 = run_frames(small_dataset, "simple", 4,
+                               snapshot_indices=schedule)
+        assert len(serial) == len(tiled) == len(schedule)
+        for a, b in zip(serial, tiled):
+            assert np.array_equal(a, b)
+        assert r4.triangles == r1.triangles
+
+    def test_written_images_byte_identical(self, small_dataset,
+                                           tmp_path):
+        # The on-disk artifacts, not just the in-memory arrays.
+        for workers, sub in ((1, "serial"), (4, "tiled")):
+            config = VoyagerConfig(
+                data_dir=small_dataset.directory,
+                test="simple",
+                mode="TG",
+                compute_workers=workers,
+                out_dir=str(tmp_path / sub),
+                steps=2,
+            )
+            Voyager(config).run()
+        for name in sorted(p.name for p in (tmp_path / "serial").iterdir()):
+            a = (tmp_path / "serial" / name).read_bytes()
+            b = (tmp_path / "tiled" / name).read_bytes()
+            assert a == b
+
+
+def camera_64():
+    return Camera(position=(0.0, -5.0, 0.0), look_at=(0.0, 0.0, 0.0),
+                  up=(0, 0, 1), width=64, height=64)
+
+
+def random_soup(n, seed, spread=2.0, behind=0):
+    rng = np.random.default_rng(seed)
+    verts = rng.uniform(-spread, spread, size=(n, 3, 3))
+    if behind:
+        # Push one vertex of the first `behind` triangles behind the
+        # camera (y <= -5 is behind a camera at y=-5 looking at +y).
+        verts[:behind, 0, 1] = -6.0
+    values = rng.uniform(0.0, 1.0, size=(n, 3))
+    return TriangleSoup(verts, values)
+
+
+class TestRendererBitIdentity:
+    def draw_both(self, soup):
+        serial = Renderer(camera_64())
+        serial.draw(soup, Colormap("rainbow"))
+        with ComputePool(4, spawn_threads=2) as pool:
+            tiled = Renderer(camera_64(), pool=pool)
+            tiled.draw(soup, Colormap("rainbow"))
+        return serial, tiled
+
+    def test_random_soup_identical(self):
+        serial, tiled = self.draw_both(random_soup(200, seed=7))
+        assert np.array_equal(serial._zbuffer, tiled._zbuffer)
+        assert np.array_equal(serial._frame, tiled._frame)
+        assert np.array_equal(serial.image(), tiled.image())
+
+    def test_duplicate_coplanar_triangles_tie_break(self):
+        # Identical triangles produce identical depths at every covered
+        # pixel: the serial rule keeps the *first* submission (strict
+        # z < zbuffer). The tiled path must pick the same winner.
+        base = random_soup(8, seed=3)
+        dup = TriangleSoup(
+            np.concatenate([base.vertices, base.vertices]),
+            np.concatenate([base.values, 1.0 - base.values]),
+        )
+        serial, tiled = self.draw_both(dup)
+        assert np.array_equal(serial.image(), tiled.image())
+
+    def test_near_plane_cull_parity(self):
+        soup = random_soup(50, seed=11, behind=10)
+        serial, tiled = self.draw_both(soup)
+        assert serial.triangles_culled == tiled.triangles_culled == 10
+        assert np.array_equal(serial.image(), tiled.image())
+
+    def test_serial_pool_uses_serial_path(self):
+        # A workers=1 pool is not parallel: the renderer must take the
+        # plain serial loop, not the tiled one.
+        pool = ComputePool(1)
+        renderer = Renderer(camera_64(), pool=pool)
+        renderer.draw(random_soup(10, seed=1), Colormap("gray"))
+        assert pool.stats.compute_tasks == 0
+        pool.close()
+
+
+class TestTryWaitUnit:
+    def test_miss_on_unknown_unit(self, gbo):
+        assert gbo.try_wait_unit("nope") is False
+
+    def test_hit_pins_resident_unit(self, gbo):
+        gbo.add_unit("u", lambda db, name: None)
+        gbo.wait_unit("u")
+        gbo.finish_unit("u")
+        before = gbo.stats.wait_hits
+        assert gbo.try_wait_unit("u") is True
+        assert gbo.stats.wait_hits == before + 1
+        # The pin must keep the unit out of the evictable set.
+        assert "u" not in gbo._mem.policy
+        gbo.finish_unit("u")
+
+    def test_raises_once_closed(self, gbo):
+        gbo.close()
+        with pytest.raises(DatabaseClosedError):
+            gbo.try_wait_unit("u")
+
+
+class TestEnginePool:
+    def test_gbo_owns_a_compute_pool(self):
+        with GBO(mem_mb=32, compute_workers=3) as database:
+            assert database.compute_workers == 3
+            assert database.compute.parallel
+            assert database.compute.submit(lambda: 5).wait() == 5
+        assert database.compute.closed
+
+    def test_compute_workers_validated(self):
+        with pytest.raises(ValueError):
+            GBO(mem_mb=32, compute_workers=0)
+
+    def test_default_pool_is_serial(self, gbo):
+        assert gbo.compute_workers == 1
+        assert not gbo.compute.parallel

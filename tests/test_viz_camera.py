@@ -94,6 +94,30 @@ def test_save_load_roundtrip(tmp_path):
     assert loaded.width == 640
 
 
+def test_save_load_preserves_near_plane(tmp_path):
+    # Regression: save() used to omit `near`, so a custom near plane
+    # silently reverted to the default on reload.
+    camera = Camera(near=0.25)
+    path = str(tmp_path / "camera.json")
+    camera.save(path)
+    assert Camera.load(path).near == 0.25
+
+
+def test_load_legacy_file_without_near_key(tmp_path):
+    # Camera files written before `near` was persisted must still load,
+    # falling back to the dataclass default.
+    import json
+    camera = Camera()
+    path = str(tmp_path / "camera.json")
+    camera.save(path)
+    with open(path) as f:
+        data = json.load(f)
+    del data["near"]
+    with open(path, "w") as f:
+        json.dump(data, f)
+    assert Camera.load(path).near == 0.01
+
+
 def test_fit_bounds_sees_the_box():
     camera = Camera.fit_bounds((-1, -1, 0), (1, 1, 10))
     corners = np.array([
@@ -103,3 +127,26 @@ def test_fit_bounds_sees_the_box():
     assert (depth > 0).all()
     assert (xy[:, 0] >= 0).all() and (xy[:, 0] <= camera.width).all()
     assert (xy[:, 1] >= 0).all() and (xy[:, 1] <= camera.height).all()
+
+
+def test_fit_bounds_fov_param_sets_camera_fov():
+    # Regression: fit_bounds hardcoded a 40-degree FOV in the framing
+    # math while the returned Camera used the dataclass default — the
+    # explicit parameter keeps distance and stored FOV in lockstep.
+    camera = Camera.fit_bounds((-1, -1, 0), (1, 1, 10), fov_deg=60.0)
+    assert camera.fov_deg == 60.0
+    corners = np.array([
+        [x, y, z] for x in (-1, 1) for y in (-1, 1) for z in (0, 10)
+    ], dtype=float)
+    xy, depth = camera.project(corners)
+    assert (depth > 0).all()
+    assert (xy[:, 0] >= 0).all() and (xy[:, 0] <= camera.width).all()
+    assert (xy[:, 1] >= 0).all() and (xy[:, 1] <= camera.height).all()
+
+
+def test_fit_bounds_narrow_fov_backs_off():
+    near_cam = Camera.fit_bounds((-1, -1, -1), (1, 1, 1), fov_deg=60.0)
+    far_cam = Camera.fit_bounds((-1, -1, -1), (1, 1, 1), fov_deg=20.0)
+    d_near = np.linalg.norm(np.asarray(near_cam.position))
+    d_far = np.linalg.norm(np.asarray(far_cam.position))
+    assert d_far > d_near

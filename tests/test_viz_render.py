@@ -150,3 +150,43 @@ class TestColorbar:
         renderer = Renderer(front_camera())
         with pytest.raises(ValueError):
             renderer.draw_colorbar(Colormap("gray"), width=100)
+
+
+class TestColorbarHeightValidation:
+    def test_margins_taller_than_frame_rejected(self):
+        # Regression: margin*2 >= height used to produce an empty/
+        # inverted gradient range and crash in the strip fill.
+        camera = Camera(position=(0.0, -5.0, 0.0), look_at=(0, 0, 0),
+                        up=(0, 0, 1), width=64, height=8)
+        renderer = Renderer(camera)
+        with pytest.raises(ValueError):
+            renderer.draw_colorbar(Colormap("gray"), margin=4)
+
+    def test_just_tall_enough_accepted(self):
+        camera = Camera(position=(0.0, -5.0, 0.0), look_at=(0, 0, 0),
+                        up=(0, 0, 1), width=64, height=9)
+        renderer = Renderer(camera)
+        renderer.draw_colorbar(Colormap("gray"), margin=4)
+
+
+class TestTrianglesCulledStat:
+    def test_counts_triangles_with_vertex_at_or_behind_near(self):
+        renderer = Renderer(front_camera())
+        assert renderer.triangles_culled == 0
+        # One triangle fully behind the camera, one straddling the near
+        # plane (one vertex behind): both are whole-triangle culled.
+        behind = facing_triangle(y=-10.0)
+        straddle = TriangleSoup(np.array([[
+            [-1.0, -10.0, -1.0],   # behind the camera
+            [1.0, 2.0, -1.0],
+            [0.0, 2.0, 1.0],
+        ]]), np.zeros((1, 3)))
+        renderer.draw_flat(behind, (1.0, 1.0, 1.0))
+        assert renderer.triangles_culled == 1
+        renderer.draw_flat(straddle, (1.0, 1.0, 1.0))
+        assert renderer.triangles_culled == 2
+
+    def test_visible_triangles_not_counted(self):
+        renderer = Renderer(front_camera())
+        renderer.draw_flat(facing_triangle(), (1.0, 1.0, 1.0))
+        assert renderer.triangles_culled == 0
