@@ -16,12 +16,28 @@ Three layers, all optional and all off by default:
    turns the existing ``test_database_*`` suites into race tests.
 3. **repro-lint** (:mod:`repro.analysis.lint`) — repo-specific AST
    rules (no bare locks, waits in while loops, no paper aliases outside
-   compat, no mutable defaults, docstring/annotation coverage) with a
+   compat, no mutable defaults, docstring/annotation coverage, no
+   sleeps/bare I/O in engine code, guarded fields registered) with a
    committed baseline, run in CI.
+4. **repro-check** (:mod:`repro.analysis.static`) — the whole-program
+   *static* concurrency checker: interprocedural lockset dataflow over
+   the intra-package call graph (:mod:`repro.analysis.callgraph`)
+   against the machine-readable DESIGN lock table
+   (:mod:`repro.analysis.lockfacts`). Reports static race candidates
+   (SC101), lock-hierarchy violations (SC102), blocking ops under leaf
+   locks (SC103) and contract drift (SC104) — the all-paths complement
+   to the dynamic sanitizer, with its own committed baseline
+   (``.repro-check-baseline.json``), run in CI.
 
 See ``docs/ANALYSIS.md`` for the operator's guide.
 """
 
+from repro.analysis.lockfacts import (
+    CLASS_ROLE,
+    GUARDED_FIELDS,
+    LOCK_TABLE,
+    parse_design_lock_table,
+)
 from repro.analysis.lockorder import (
     GLOBAL_GRAPH,
     LockOrderEdge,
@@ -62,4 +78,8 @@ __all__ = [
     "LocksetTracker",
     "RaceReport",
     "guarded_by",
+    "LOCK_TABLE",
+    "CLASS_ROLE",
+    "GUARDED_FIELDS",
+    "parse_design_lock_table",
 ]

@@ -1,0 +1,141 @@
+"""Shared finding/baseline/CLI plumbing for the AST analysis tools.
+
+``repro-lint`` (:mod:`repro.analysis.lint`) and ``repro-check``
+(:mod:`repro.analysis.static`) gate CI the same way: every finding has
+a line-number-free key, pre-existing findings are frozen in a committed
+baseline JSON file, and the build fails only on keys not listed there.
+This module owns that machinery once — the finding base class, the
+file-discovery walk, the baseline load/store, the common argparse
+options, and the report/exit-code logic — so the two tools cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Iterable, List, Optional, Sequence, Set
+
+
+class Finding:
+    """One analysis finding, identified stably for the baseline."""
+
+    __slots__ = ("rule", "path", "line", "symbol", "message")
+
+    def __init__(self, rule: str, path: str, line: int, symbol: str,
+                 message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.symbol = symbol
+        self.message = message
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity so baselines survive edits above
+        the suppressed site."""
+        return f"{self.rule}:{self.path}:{self.symbol}"
+
+    def __repr__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def normalize_path(path: str, root: Optional[str] = None) -> str:
+    """Report paths with forward slashes, optionally relative to root."""
+    rel = os.path.relpath(path, root) if root else path
+    return rel.replace(os.sep, "/")
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("__pycache__", ".git")]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Read the accepted-finding keys from a baseline JSON file."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return set(data.get("suppressions", []))
+
+
+def write_baseline(path: str, findings: Sequence[Finding],
+                   tool: str = "repro-lint") -> None:
+    """Record the given findings as the accepted baseline."""
+    payload = {
+        "comment": (
+            f"Accepted pre-existing {tool} violations. CI fails "
+            f"only on keys not listed here; regenerate deliberately "
+            f"with: {tool} --update-baseline"
+        ),
+        "suppressions": sorted({f.key for f in findings}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def make_parser(prog: str, description: str,
+                default_baseline: str) -> argparse.ArgumentParser:
+    """The argparse parser both console tools share."""
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", default=default_baseline,
+        help="baseline file of accepted violation keys",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every violation, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to accept all current violations",
+    )
+    return parser
+
+
+def run_gate(findings: List[Finding], args: argparse.Namespace,
+             prog: str) -> int:
+    """Apply the baseline to findings and report; returns the exit code.
+
+    Handles ``--update-baseline`` (rewrite and succeed) and
+    ``--no-baseline`` (full backlog); otherwise prints only findings
+    whose keys are not baselined, plus a one-line summary that also
+    calls out stale suppressions.
+    """
+    if args.update_baseline:
+        write_baseline(args.baseline, findings, tool=prog)
+        print(f"baseline updated: {len(findings)} suppression(s) "
+              f"written to {args.baseline}")
+        return 0
+
+    baseline = set() if args.no_baseline else load_baseline(args.baseline)
+    new = [f for f in findings if f.key not in baseline]
+    suppressed = len(findings) - len(new)
+    for finding in new:
+        print(finding)
+    stale = baseline - {f.key for f in findings}
+    summary = (
+        f"{prog}: {len(new)} new violation(s), "
+        f"{suppressed} baselined"
+    )
+    if stale:
+        summary += f", {len(stale)} stale suppression(s) (clean up!)"
+    print(summary)
+    return 1 if new else 0

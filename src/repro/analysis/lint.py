@@ -28,26 +28,50 @@ REP107   No engine-layer imports (``RecordEngine``, ``UnitStore``,
          :mod:`repro.core` and :mod:`repro.service` — clients go
          through the blessed API (:mod:`repro.api`: ``GBO``,
          ``GodivaService``/``ServiceSession``).
+REP108   No ``time.sleep(...)`` or bare ``open(...)`` inside
+         ``repro/core/`` — engine code must go through the injected
+         ``clock``/read-callback seams so the simulator and the tests
+         control time and I/O.
+REP109   Every ``@guarded_by``-declared field must appear in the
+         machine-readable lock registry
+         (:mod:`repro.analysis.lockfacts`) or be covered by a
+         "Lock held." contract in its class, so the static checker
+         (``repro-check``) can verify it.
 =======  ==============================================================
 
 Pre-existing violations live in a committed baseline file
 (``.repro-lint-baseline.json``); the build fails only on *new* ones,
 so the rules can be adopted without a flag-day cleanup. Run
 ``repro-lint --update-baseline`` after deliberately accepting a new
-suppression.
+suppression. The baseline/CLI machinery is shared with ``repro-check``
+via :mod:`repro.analysis.baseline`.
 
-The linter is pure ``ast`` — it never imports the code under analysis,
-so it runs in a bare CI container in milliseconds.
+The linter is pure ``ast`` — it never imports the code under analysis
+(the REP109 registry lookup reads plain data from ``lockfacts``), so
+it runs in a bare CI container in milliseconds.
 """
 
 from __future__ import annotations
 
-import argparse
 import ast
-import json
-import os
 import sys
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.baseline import (
+    Finding,
+    iter_python_files,
+    load_baseline,
+    make_parser,
+    normalize_path,
+    run_gate,
+    write_baseline,
+)
+from repro.analysis.lockfacts import CONTRACT_RE, GUARDED_FIELDS
+
+__all__ = [
+    "PAPER_ALIAS_NAMES", "Violation", "lint_source", "lint_paths",
+    "iter_python_files", "load_baseline", "write_baseline", "main",
+]
 
 #: Paper-API camelCase spellings (mirrors ``PAPER_ALIASES`` in
 #: ``repro.core.compat``; a unit test keeps the two in sync so the
@@ -90,32 +114,10 @@ _MUTABLE_DEFAULT_NODES = (
 _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "deque"})
 
 
-class Violation:
+class Violation(Finding):
     """One lint finding, identified stably for the baseline."""
 
-    __slots__ = ("rule", "path", "line", "symbol", "message")
-
-    def __init__(self, rule: str, path: str, line: int, symbol: str,
-                 message: str):
-        self.rule = rule
-        self.path = path
-        self.line = line
-        self.symbol = symbol
-        self.message = message
-
-    @property
-    def key(self) -> str:
-        """Line-number-free identity so baselines survive edits above
-        the suppressed site."""
-        return f"{self.rule}:{self.path}:{self.symbol}"
-
-    def __repr__(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
-
-
-def _normalize(path: str, root: Optional[str] = None) -> str:
-    rel = os.path.relpath(path, root) if root else path
-    return rel.replace(os.sep, "/")
+    __slots__ = ()
 
 
 def _is_exempt(path: str, fragments: Sequence[str]) -> bool:
@@ -134,6 +136,7 @@ class _Linter(ast.NodeVisitor):
         self._concurrency_exempt = _is_exempt(path, _CONCURRENCY_EXEMPT)
         self._alias_exempt = _is_exempt(path, _ALIAS_EXEMPT)
         self._engine_exempt = _is_exempt(path, _ENGINE_EXEMPT)
+        self._core_module = "repro/core/" in path
 
     # -- plumbing ------------------------------------------------------
     def _qualname(self, name: Optional[str] = None) -> str:
@@ -202,6 +205,7 @@ class _Linter(ast.NodeVisitor):
     # -- rule dispatch on defs -----------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._check_camelcase_def(node)
+        self._check_guarded_fields(node)
         if self._is_public_context(node.name) \
                 and ast.get_docstring(node) is None:
             self._add("REP105", node,
@@ -289,6 +293,23 @@ class _Linter(ast.NodeVisitor):
                 f"camelCase paper alias {func.attr!r} called outside "
                 f"core/compat.py — use the snake_case API",
             )
+        if self._core_module:
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == "time" \
+                    and func.attr == "sleep":
+                self._add(
+                    "REP108", node,
+                    "time.sleep in engine code — use the injected "
+                    "clock/condition seams so tests and the simulator "
+                    "control time",
+                )
+            elif isinstance(func, ast.Name) and func.id == "open":
+                self._add(
+                    "REP108", node,
+                    "bare open() in engine code — file I/O goes "
+                    "through read callbacks / injected seams",
+                )
         self.generic_visit(node)
 
     @staticmethod
@@ -298,6 +319,35 @@ class _Linter(ast.NodeVisitor):
         if isinstance(value, ast.Name):
             return "cond" in value.id.lower()
         return False
+
+    def _check_guarded_fields(self, node: ast.ClassDef) -> None:
+        """REP109: every ``@guarded_by`` field is registered or under
+        a "Lock held." contract."""
+        from repro.analysis.callgraph import parse_guarded_by
+
+        declared = parse_guarded_by(node)
+        if not declared:
+            return
+        docstrings = [ast.get_docstring(node) or ""] + [
+            ast.get_docstring(stmt) or ""
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        has_contract = any(
+            CONTRACT_RE.search(doc) for doc in docstrings if doc
+        )
+        for field in declared:
+            if (node.name, field) in GUARDED_FIELDS:
+                continue
+            if has_contract:
+                continue
+            self._add(
+                "REP109", node,
+                f"@guarded_by field {field!r} is neither in the "
+                f"repro.analysis.lockfacts registry nor covered by a "
+                f"'Lock held.' contract in {node.name!r}",
+                symbol=self._qualname(f"{node.name}.{field}"),
+            )
 
     # -- helpers for the def rules -------------------------------------
     def _check_camelcase_def(self, node) -> None:
@@ -378,104 +428,28 @@ def lint_source(source: str, path: str) -> List[Violation]:
     return linter.violations
 
 
-def iter_python_files(paths: Iterable[str]) -> Iterable[str]:
-    """Expand files/directories into a sorted stream of ``.py`` paths."""
-    for path in paths:
-        if os.path.isfile(path):
-            yield path
-            continue
-        for dirpath, dirnames, filenames in os.walk(path):
-            dirnames.sort()
-            dirnames[:] = [d for d in dirnames
-                           if d not in ("__pycache__", ".git")]
-            for filename in sorted(filenames):
-                if filename.endswith(".py"):
-                    yield os.path.join(dirpath, filename)
-
-
-def lint_paths(paths: Iterable[str],
+def lint_paths(paths: Sequence[str],
                root: Optional[str] = None) -> List[Violation]:
     """Lint every Python file under ``paths``."""
     violations: List[Violation] = []
     for filepath in iter_python_files(paths):
-        normalized = _normalize(filepath, root)
+        normalized = normalize_path(filepath, root)
         with open(filepath, "r", encoding="utf-8") as handle:
             source = handle.read()
         violations.extend(lint_source(source, normalized))
     return violations
 
 
-def load_baseline(path: str) -> Set[str]:
-    """Read the accepted-violation keys from a baseline JSON file."""
-    if not os.path.exists(path):
-        return set()
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
-    return set(data.get("suppressions", []))
-
-
-def write_baseline(path: str, violations: List[Violation]) -> None:
-    """Record the given violations as the accepted baseline."""
-    payload = {
-        "comment": (
-            "Accepted pre-existing repro-lint violations. CI fails "
-            "only on keys not listed here; regenerate deliberately "
-            "with: repro-lint --update-baseline"
-        ),
-        "suppressions": sorted({v.key for v in violations}),
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-
-
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Console entry point (``repro-lint``)."""
-    parser = argparse.ArgumentParser(
+    parser = make_parser(
         prog="repro-lint",
         description="GODIVA repo-specific concurrency/API lint",
-    )
-    parser.add_argument(
-        "paths", nargs="*", default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
-    )
-    parser.add_argument(
-        "--baseline", default=".repro-lint-baseline.json",
-        help="baseline file of accepted violation keys",
-    )
-    parser.add_argument(
-        "--no-baseline", action="store_true",
-        help="report every violation, ignoring the baseline",
-    )
-    parser.add_argument(
-        "--update-baseline", action="store_true",
-        help="rewrite the baseline to accept all current violations",
+        default_baseline=".repro-lint-baseline.json",
     )
     args = parser.parse_args(argv)
-
     violations = lint_paths(args.paths)
-    if args.update_baseline:
-        write_baseline(args.baseline, violations)
-        print(f"baseline updated: {len(violations)} suppression(s) "
-              f"written to {args.baseline}")
-        return 0
-
-    baseline = set() if args.no_baseline else load_baseline(
-        args.baseline
-    )
-    new = [v for v in violations if v.key not in baseline]
-    suppressed = len(violations) - len(new)
-    for violation in new:
-        print(violation)
-    stale = baseline - {v.key for v in violations}
-    summary = (
-        f"repro-lint: {len(new)} new violation(s), "
-        f"{suppressed} baselined"
-    )
-    if stale:
-        summary += f", {len(stale)} stale suppression(s) (clean up!)"
-    print(summary)
-    return 1 if new else 0
+    return run_gate(list(violations), args, "repro-lint")
 
 
 if __name__ == "__main__":

@@ -99,7 +99,8 @@ class ComputeTask:
         return f"<ComputeTask #{self.task_id} {self.state}>"
 
 
-@guarded_by("_queue", "_closed", "_next_id", lock="_lock")
+@guarded_by("_queue", "_closed", "_next_id", "_threads", "_started",
+            lock="_lock")
 class ComputePool:
     """Priority-ordered compute worker pool with helping waiters.
 
@@ -189,14 +190,19 @@ class ComputePool:
                 count = max(
                     0, min(self._workers, os.cpu_count() or 1) - 1
                 )
-        for index in range(count):
-            thread = self._thread_factory(
-                target=self._work_loop,
-                name=f"{self._name}-{index}", daemon=True,
-            )
-            self._threads.append(thread)
-        for thread in self._threads:
-            thread.start()
+            spawned = [
+                self._thread_factory(
+                    target=self._work_loop,
+                    name=f"{self._name}-{index}", daemon=True,
+                )
+                for index in range(count)
+            ]
+            self._threads.extend(spawned)
+            # Started under the lock so a concurrent close() can never
+            # observe (and try to join) a thread that is not running
+            # yet; the workers themselves begin by re-acquiring it.
+            for thread in spawned:
+                thread.start()
 
     def close(self) -> None:
         """Shut the pool down: cancel queued tasks, join the workers.
@@ -214,9 +220,10 @@ class ComputePool:
                 task_obj: ComputeTask = self._queue.pop()
                 task_obj.state = CANCELLED
             self._cond.notify_all()
-        for thread in self._threads:
+            workers, self._threads = self._threads, []
+        # Join outside the lock — the workers need it to drain.
+        for thread in workers:
             thread.join()
-        self._threads = []
 
     def __enter__(self) -> "ComputePool":
         """Context-manager entry: starts the workers."""
@@ -249,7 +256,8 @@ class ComputePool:
     @property
     def threads(self) -> List[threading.Thread]:
         """The live worker threads (empty in the serial build)."""
-        return list(self._threads)
+        with self._lock:
+            return list(self._threads)
 
     def queue_len(self) -> int:
         """Tasks currently pending. Lock held."""

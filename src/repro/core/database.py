@@ -46,7 +46,7 @@ _RECORD_DELEGATES = (
 )
 
 
-@guarded_by("_closing", lock="_lock")
+@guarded_by("_closing", "_closed", lock="_lock")
 class GBO:
     """The GODIVA database object (facade over the four engine layers).
 
@@ -178,7 +178,8 @@ class GBO:
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has completed."""
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def close(self) -> None:
         """Terminate the I/O workers and free all buffers (the paper

@@ -166,7 +166,7 @@ class MemoryManager:
 
     @property
     def abort_loads(self) -> set:
-        """Names of loads asked to roll back (engine-lock discipline)."""
+        """Loads asked to roll back (engine-lock discipline applies)."""
         return self._abort_loads
 
     def fits(self, nbytes: int) -> bool:

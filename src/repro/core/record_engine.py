@@ -64,7 +64,7 @@ def _noop_touch(unit_name: str) -> None:
 
 
 @guarded_by("_field_types", "_record_types", "_index", "_closing",
-            lock="_lock")
+            "_closed", lock="_lock")
 class RecordEngine:
     """Schema registry, record instances, key index, and query path.
 

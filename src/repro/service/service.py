@@ -226,7 +226,9 @@ class ServiceSession:
                 pass
         with self._cond:
             derived = self._gbo.derived
-            if derived is not None and not self._gbo.closed:
+            # The engine lock is held: read the guarded flag directly
+            # (the `closed` property would re-acquire and self-deadlock).
+            if derived is not None and not self._gbo._closed:
                 derived.invalidate_prefix_locked(
                     f"{DERIVED_PREFIX}{TENANT_PREFIX}{self.tenant}|"
                 )
@@ -511,7 +513,7 @@ class ServiceSession:
         return f"ServiceSession({self.tenant!r})"
 
 
-@guarded_by("_sessions", "_closing", lock="_lock")
+@guarded_by("_sessions", "_closing", "_service_closed", lock="_lock")
 class GodivaService:
     """A multi-tenant host for one shared GODIVA engine.
 

@@ -182,6 +182,8 @@ class TenantLedger:
         self._tenants.clear()
 
     def __contains__(self, tenant: str) -> bool:
+        """Whether the tenant has a live carve-out. Lock held."""
+        self._check_locked()
         return tenant in self._tenants
 
     def reserved_bytes(self) -> int:

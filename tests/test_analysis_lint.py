@@ -232,6 +232,78 @@ class TestRep107EngineImports:
         assert rules(src, path) == []
 
 
+class TestRep108EngineTimeAndIo:
+    def test_time_sleep_in_core_flagged(self):
+        src = DOC + (
+            "import time\n"
+            "def _f():\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert rules(src, "src/repro/core/x.py") == ["REP108"]
+
+    def test_bare_open_in_core_flagged(self):
+        src = DOC + (
+            "def _f(path):\n"
+            "    with open(path) as f:\n"
+            "        return f.read()\n"
+        )
+        assert rules(src, "src/repro/core/x.py") == ["REP108"]
+
+    def test_outside_core_is_clean(self):
+        src = DOC + (
+            "import time\n"
+            "def _f(path):\n"
+            "    time.sleep(0.1)\n"
+            "    return open(path)\n"
+        )
+        assert rules(src, "src/repro/io/x.py") == []
+        assert rules(src, "src/repro/gen/x.py") == []
+
+    def test_injected_seams_are_clean(self):
+        src = DOC + (
+            "class _C:\n"
+            "    def _f(self):\n"
+            "        self._clock.sleep(0.1)\n"
+            "        return self._read(4)\n"
+        )
+        assert rules(src, "src/repro/core/x.py") == []
+
+
+class TestRep109GuardedFieldCoverage:
+    def test_unregistered_uncontracted_field_flagged(self):
+        src = DOC + (
+            "@guarded_by('_items', lock='_lock')\n"
+            "class Widget:\n"
+            '    """Doc."""\n'
+        )
+        violations = lint.lint_source(src, "src/repro/x.py")
+        assert [v.rule for v in violations] == ["REP109"]
+        assert violations[0].symbol == "Widget._items"
+
+    def test_registered_field_is_clean(self):
+        src = DOC + (
+            "@guarded_by('_units', lock='_lock')\n"
+            "class UnitStore:\n"
+            '    """Doc."""\n'
+        )
+        assert rules(src) == []
+
+    def test_lock_held_contract_covers_field(self):
+        src = DOC + (
+            "@guarded_by('_items', lock='_lock')\n"
+            "class Widget:\n"
+            '    """Doc."""\n'
+            "    def _get(self):\n"
+            '        """Read the items. Lock held."""\n'
+            "        return self._items\n"
+        )
+        assert rules(src) == []
+
+    def test_undecorated_class_is_clean(self):
+        src = DOC + "class Widget:\n" + '    """Doc."""\n'
+        assert rules(src) == []
+
+
 class TestBaseline:
     def test_violation_key_is_line_number_free(self):
         src = DOC + "def run(count) -> int:\n    '''D.'''\n    return 1\n"

@@ -134,6 +134,42 @@ def test_close_idempotent_and_joins_threads():
     assert pool.threads == []
 
 
+def test_concurrent_start_and_close_joins_every_thread():
+    """Regression: repro-check (SC101) caught ``start()`` appending to
+    ``_threads`` outside the lock, so a concurrent ``close()`` could
+    snapshot a half-built list and leave spawned workers unjoined.
+    Spawning now happens entirely under the lock; close() swaps the
+    list out under the lock and joins outside it."""
+    for _ in range(20):
+        pool = ComputePool(4, spawn_threads=3)
+        release = threading.Event()
+        spawned = []
+
+        class _GatedThread(threading.Thread):
+            """Widens the start/close race window: the starter blocks
+            after thread objects exist but before start() returns."""
+
+            def start(self):
+                spawned.append(self)
+                release.wait(timeout=5.0)
+                super().start()
+
+        pool._thread_factory = _GatedThread
+        starter = threading.Thread(target=pool.start)
+        starter.start()
+        closer = threading.Thread(target=pool.close)
+        closer.start()
+        release.set()
+        starter.join(timeout=5.0)
+        closer.join(timeout=5.0)
+        assert not starter.is_alive() and not closer.is_alive()
+        for thread in spawned:
+            thread.join(timeout=5.0)
+            assert not thread.is_alive(), "close() leaked a worker"
+        assert pool.closed
+        assert pool.threads == []
+
+
 def test_stats_count_tasks_and_time():
     stats = GodivaStats()
     clock = iter(range(100))

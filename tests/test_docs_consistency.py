@@ -64,6 +64,28 @@ class TestDesign:
     def test_paper_match_confirmed(self):
         assert "matches the title/venue/authors" in read("DESIGN.md")
 
+    def test_lock_table_matches_registry(self):
+        """DESIGN's lock-ownership table and the machine-readable
+        registry (``repro.analysis.lockfacts.LOCK_TABLE``) never drift:
+        same roles, same classes, same guarded fields, in order."""
+        from repro.analysis.lockfacts import (
+            LOCK_TABLE,
+            parse_design_lock_table,
+        )
+
+        parsed = parse_design_lock_table(read("DESIGN.md"))
+        expected = {
+            role: {
+                cls: list(fields)
+                for cls, fields in entry["classes"].items()
+                # Field-less classes (contract-only members of a role)
+                # have nothing to list in the table's fields column.
+                if fields
+            }
+            for role, entry in LOCK_TABLE.items()
+        }
+        assert parsed == expected
+
 
 class TestExperiments:
     def test_every_bench_documented(self):
