@@ -47,6 +47,7 @@ from repro.core import (
 )
 from repro.errors import (
     AdmissionError,
+    ArenaError,
     DatabaseClosedError,
     DuplicateKeyError,
     GodivaDeadlockError,
@@ -95,6 +96,7 @@ __all__ = [
     "StorageFormatError",
     "ReadFunctionError",
     "AdmissionError",
+    "ArenaError",
     "PaperAliasError",
     "GodivaService",
     "ServiceSession",

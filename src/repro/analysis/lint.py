@@ -27,7 +27,12 @@ REP107   No engine-layer imports (``RecordEngine``, ``UnitStore``,
          ``MemoryManager``, ``IoScheduler``, ``LoadYield``) outside
          :mod:`repro.core` and :mod:`repro.service` — clients go
          through the blessed API (:mod:`repro.api`: ``GBO``,
-         ``GodivaService``/``ServiceSession``).
+         ``GodivaService``/``ServiceSession``). The arena seam
+         (:mod:`repro.core.arena`) has a slightly wider blessed
+         surface — the parallel layer and the API facade build on it
+         directly — but rendering code (``repro/viz/``) must stay
+         arena-agnostic: it receives zero-copy arrays, never the
+         allocator.
 REP108   No ``time.sleep(...)`` or bare ``open(...)`` inside
          ``repro/core/`` — engine code must go through the injected
          ``clock``/read-callback seams so the simulator and the tests
@@ -108,6 +113,15 @@ _ENGINE_NAMES = frozenset({
 })
 _ENGINE_EXEMPT = ("repro/core/", "repro/service/")
 
+#: The arena seam is engine-adjacent but deliberately wider: the
+#: parallel layer (sharded GBO, shard hosts) and the API facade
+#: allocate from arenas directly. Everyone else — above all the
+#: rendering layer — must stay arena-agnostic.
+_ARENA_MODULE = "repro.core.arena"
+_ARENA_EXEMPT = (
+    "repro/core/", "repro/service/", "repro/parallel/", "repro/api.py",
+)
+
 _MUTABLE_DEFAULT_NODES = (
     ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
 )
@@ -136,6 +150,7 @@ class _Linter(ast.NodeVisitor):
         self._concurrency_exempt = _is_exempt(path, _CONCURRENCY_EXEMPT)
         self._alias_exempt = _is_exempt(path, _ALIAS_EXEMPT)
         self._engine_exempt = _is_exempt(path, _ENGINE_EXEMPT)
+        self._arena_exempt = _is_exempt(path, _ARENA_EXEMPT)
         self._core_module = "repro/core/" in path
 
     # -- plumbing ------------------------------------------------------
@@ -180,6 +195,19 @@ class _Linter(ast.NodeVisitor):
                         f"use the blessed API (repro.api)",
                         symbol=f"import:{','.join(leaked)}",
                     )
+        if not self._arena_exempt and node.module is not None:
+            if node.module == _ARENA_MODULE or (
+                node.module == "repro.core"
+                and any(a.name == "arena" for a in node.names)
+            ):
+                self._add(
+                    "REP107", node,
+                    f"arena import from {_ARENA_MODULE!r} outside its "
+                    f"blessed surface (repro.core/service/parallel, "
+                    f"repro.api) — rendering and client code must stay "
+                    f"arena-agnostic",
+                    symbol=f"import:{_ARENA_MODULE}",
+                )
         self.generic_visit(node)
 
     def visit_Import(self, node: ast.Import) -> None:
@@ -192,6 +220,17 @@ class _Linter(ast.NodeVisitor):
                         f"repro.core/repro.service — use the blessed "
                         f"API (repro.api)",
                         symbol=f"import:{alias.name}",
+                    )
+        if not self._arena_exempt:
+            for alias in node.names:
+                if alias.name == _ARENA_MODULE:
+                    self._add(
+                        "REP107", node,
+                        f"arena import {_ARENA_MODULE!r} outside its "
+                        f"blessed surface (repro.core/service/parallel, "
+                        f"repro.api) — rendering and client code must "
+                        f"stay arena-agnostic",
+                        symbol=f"import:{_ARENA_MODULE}",
                     )
         self.generic_visit(node)
 

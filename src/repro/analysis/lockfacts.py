@@ -48,6 +48,11 @@ LOCK_TABLE: Dict[str, dict] = {
             # (engine lock).") but owns no guarded fields of its own —
             # registered so those contracts resolve to the engine role.
             "TenantAwareEvictionPolicy": (),
+            # The sharded coordinator's lock plays the engine role for
+            # the TenantLedger it borrows: ledger "Lock held."
+            # contracts resolve against it exactly as against
+            # GBO._lock in the service layer.
+            "ShardedGBO": ("_budgets", "_usage_units", "_inflight"),
         },
     },
     "record": {
@@ -68,6 +73,16 @@ LOCK_TABLE: Dict[str, dict] = {
         "classes": {
             "ComputePool": (
                 "_queue", "_closed", "_next_id", "_threads", "_started",
+            ),
+        },
+    },
+    "arena": {
+        "rank": 3,
+        "leaf": True,
+        "owner": "SharedMemoryArena._lock",
+        "classes": {
+            "SharedMemoryArena": (
+                "_segments", "_tracked", "_arena_closed",
             ),
         },
     },
@@ -129,6 +144,13 @@ WIRING: Dict[Tuple[str, str], str] = {
     ("GodivaService", "_gbo"): "GBO",
     ("GodivaService", "_ledger"): "TenantLedger",
     ("ComputeTask", "_pool"): "ComputePool",
+    # The arena seam: constructor/bind parameters are untyped (the core
+    # layers must not depend on a concrete arena), so the shared-memory
+    # arena — the one that owns a lock — is declared here.
+    ("RecordEngine", "_arena"): "SharedMemoryArena",
+    ("MemoryManager", "_arena"): "SharedMemoryArena",
+    ("DerivedCache", "_arena"): "SharedMemoryArena",
+    ("GBO", "_arena"): "SharedMemoryArena",
 }
 
 #: Docstring fragments that promise "my caller already holds the lock"

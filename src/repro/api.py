@@ -28,10 +28,21 @@ All three database-shaped objects are context managers, mirroring
 
 :class:`~repro.viz.voyager.VoyagerConfig` accepts ``session=`` to run
 the batch visualization tool against a shared engine.
+
+* **Sharded** — :class:`~repro.parallel.sharded.ShardedGBO` places
+  processing units across shard-host processes by rendezvous hashing
+  and serves frames zero-copy out of each shard's
+  :class:`~repro.core.arena.SharedMemoryArena`;
+  :func:`~repro.parallel.sharded.render_sharded` is the one-call batch
+  entry point. The :class:`~repro.core.arena.Arena` seam itself
+  (``HeapArena`` default, ``SharedMemoryArena``) is part of this
+  blessed surface — ``GBO(arena=...)`` accepts either.
 """
 
+from repro.core.arena import Arena, HeapArena, SharedMemoryArena
 from repro.core.database import GBO
 from repro.core.units import UnitHandle
+from repro.parallel.sharded import ShardedGBO, render_sharded
 from repro.service.aio import AsyncGodivaClient
 from repro.service.service import GodivaService, ServiceSession
 from repro.viz.voyager import VoyagerConfig
@@ -43,4 +54,9 @@ __all__ = [
     "ServiceSession",
     "AsyncGodivaClient",
     "VoyagerConfig",
+    "Arena",
+    "HeapArena",
+    "SharedMemoryArena",
+    "ShardedGBO",
+    "render_sharded",
 ]

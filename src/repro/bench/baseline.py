@@ -27,12 +27,14 @@ MICRO_BASELINE = "core_micro.json"
 DERIVED_BASELINE = "derived_cache.json"
 SERVICE_BASELINE = "service_tenants.json"
 TILES_BASELINE = "render_tiles.json"
+SHARDED_BASELINE = "sharded_gbo.json"
 
 #: pytest-benchmark artifact name expected in the results directory.
 MICRO_RESULTS = "benchmark_core_micro.json"
 DERIVED_RESULTS = "BENCH_derived_cache.json"
 SERVICE_RESULTS = "BENCH_service_tenants.json"
 TILES_RESULTS = "BENCH_render_tiles.json"
+SHARDED_RESULTS = "BENCH_sharded_gbo.json"
 
 
 def _read_json(path: str) -> Optional[dict]:
@@ -97,6 +99,20 @@ def distill_tiles(payload: dict) -> Dict[str, float]:
     }
 
 
+def distill_sharded(payload: dict) -> Dict[str, float]:
+    """BENCH_sharded_gbo.json -> the guarded scalar metrics."""
+    rows = {row["scenario"]: row for row in payload["scenarios"]}
+    four = rows["sharded4"]
+    return {
+        "bit_identical": bool(payload["bit_identical"]),
+        "sweep_speedup_4": float(payload["sweep_speedup_4"]),
+        "n_frames_4": float(four["n_frames"]),
+        "pressure_rounds_4": float(four["pressure_rounds"]),
+        "wall_sharded4_s": float(four["wall_s"]),
+        "calibration_s": float(payload["calibration_s"]),
+    }
+
+
 def update_baselines(results_dir: str, baselines_dir: str) -> List[str]:
     """Rewrite the baselines from the current results; returns the
     files written (skips artifacts that were not produced)."""
@@ -133,6 +149,13 @@ def update_baselines(results_dir: str, baselines_dir: str) -> List[str]:
         path = os.path.join(baselines_dir, TILES_BASELINE)
         with open(path, "w") as f:
             json.dump(distill_tiles(tiles), f, indent=1,
+                      sort_keys=True)
+        written.append(path)
+    sharded = _read_json(os.path.join(results_dir, SHARDED_RESULTS))
+    if sharded is not None:
+        path = os.path.join(baselines_dir, SHARDED_BASELINE)
+        with open(path, "w") as f:
+            json.dump(distill_sharded(sharded), f, indent=1,
                       sort_keys=True)
         written.append(path)
     return written
@@ -311,6 +334,62 @@ def compare_tiles(results_dir: str, baselines_dir: str,
     return failures
 
 
+def compare_sharded(results_dir: str, baselines_dir: str,
+                    tolerance: float) -> List[str]:
+    """Sharded-GBO bench comparison: bit-identity and the >= 2x sweep
+    bar are exact, the 4-shard wall is calibrated."""
+    baseline = _read_json(os.path.join(baselines_dir, SHARDED_BASELINE))
+    current_payload = _read_json(
+        os.path.join(results_dir, SHARDED_RESULTS)
+    )
+    if baseline is None:
+        return []
+    if current_payload is None:
+        return [f"missing current results {SHARDED_RESULTS!r} "
+                f"(run bench_sharded_gbo)"]
+    current = distill_sharded(current_payload)
+    failures: List[str] = []
+    if not current["bit_identical"]:
+        failures.append(
+            "sharded frames no longer bit-identical to the serial GBO"
+        )
+    if current["sweep_speedup_4"] < 2.0:
+        failures.append(
+            f"simulated 4-shard aggregate throughput "
+            f"{current['sweep_speedup_4']:.2f}x dropped below the "
+            f"2x acceptance bar"
+        )
+    floor = baseline["sweep_speedup_4"] * (1.0 - tolerance)
+    if current["sweep_speedup_4"] < floor:
+        failures.append(
+            f"sharded metric 'sweep_speedup_4' regressed: "
+            f"{current['sweep_speedup_4']:.2f} vs baseline "
+            f"{baseline['sweep_speedup_4']:.2f} (> -{tolerance:.0%})"
+        )
+    if current["n_frames_4"] != baseline["n_frames_4"]:
+        failures.append(
+            f"4-shard run rendered {current['n_frames_4']:.0f} frames "
+            f"vs baseline {baseline['n_frames_4']:.0f}"
+        )
+    norm_base = (
+        baseline["wall_sharded4_s"] / baseline["calibration_s"]
+    )
+    norm_now = (
+        current["wall_sharded4_s"] / current["calibration_s"]
+    )
+    # The fleet wall is dominated by process spawn + interpreter
+    # startup, which the CPU calibration workload does not model and
+    # which swings with host load — triple the single-process
+    # tolerance so only a genuine blow-up (not spawn noise) trips.
+    wall_tolerance = 3.0 * tolerance
+    if norm_now > norm_base * (1.0 + wall_tolerance):
+        failures.append(
+            f"4-shard calibrated wall regressed: {norm_now:.2f} vs "
+            f"baseline {norm_base:.2f} (> +{wall_tolerance:.0%})"
+        )
+    return failures
+
+
 def compare_all(results_dir: str, baselines_dir: str,
                 tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
     """All guards; returns the list of regression descriptions."""
@@ -319,4 +398,5 @@ def compare_all(results_dir: str, baselines_dir: str,
         + compare_derived(results_dir, baselines_dir, tolerance)
         + compare_service(results_dir, baselines_dir, tolerance)
         + compare_tiles(results_dir, baselines_dir, tolerance)
+        + compare_sharded(results_dir, baselines_dir, tolerance)
     )

@@ -1,0 +1,168 @@
+"""SH1 — sharded GBO: byte-identity and scaling vs the serial build.
+
+Two claims ride on the sharded build and both are guarded here:
+
+* **fidelity** — frames rendered by :class:`repro.parallel.sharded.
+  ShardedGBO` (each shard a real OS process over a shared-memory
+  arena) are byte-for-byte what the serial single-process Voyager
+  renders for the same steps, at every shard count;
+* **scaling** — in the simulated sweep (:func:`repro.simulate.shards.
+  shard_sweep`, the Figure-3 methodology over the real rendezvous
+  placement), aggregate throughput at 4 shards is at least 2x the
+  1-shard point.
+
+``BENCH_sharded_gbo.json`` carries both verdicts plus the full sweep
+and is guarded by the baseline-regression CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.derived import calibration_seconds
+from repro.gen.snapshot import DatasetManifest
+from repro.parallel.sharded import ShardedResult, render_sharded
+from repro.simulate.machine import ENGLE
+from repro.simulate.shards import ShardSweepResult, shard_sweep
+from repro.simulate.workload import IoProfile, TestWorkload
+from repro.viz.image import read_ppm
+from repro.viz.voyager import Voyager, VoyagerConfig, VoyagerResult
+
+#: Synthetic complex-test profile for the simulated sweep — the
+#: section 4.1 shape (GODIVA reads ~1/6 of the original bytes; compute
+#: is a similar order to the reduced I/O, so private-disk shards scale
+#: near-linearly until placement skew bites).
+SWEEP_WORKLOAD = TestWorkload(
+    test="complex",
+    n_snapshots=96,
+    original=IoProfile(bytes_read=120e6, read_calls=600, seeks=60,
+                       settles=480, opens=48),
+    godiva=IoProfile(bytes_read=20e6, read_calls=100, seeks=10,
+                     settles=80, opens=8),
+    compute_s=0.8,
+)
+
+
+def run_serial(
+    manifest: DatasetManifest,
+    *,
+    test: str,
+    mem_mb: float,
+    out_dir: str,
+) -> VoyagerResult:
+    """The serial G-build reference pass (frames land in ``out_dir``)."""
+    config = VoyagerConfig(
+        data_dir=manifest.directory,
+        test=test,
+        mode="G",
+        mem_mb=mem_mb,
+        render=True,
+        out_dir=out_dir,
+    )
+    return Voyager(config).run()
+
+
+def serial_frames(result: VoyagerResult) -> Dict[int, np.ndarray]:
+    """Decode the serial reference frames back to arrays by step."""
+    frames: Dict[int, np.ndarray] = {}
+    for path in result.images:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        frames[int(stem.rsplit("_", 1)[1])] = read_ppm(path)
+    return frames
+
+
+def frames_identical(
+    serial: Dict[int, np.ndarray],
+    sharded: ShardedResult,
+) -> bool:
+    """True when every sharded frame is the serial frame's bytes."""
+    if serial.keys() != sharded.frames.keys():
+        return False
+    return all(
+        serial[step].shape == frame.shape
+        and serial[step].tobytes() == frame.tobytes()
+        for step, frame in sharded.frames.items()
+    )
+
+
+def run_sharded(
+    manifest: DatasetManifest,
+    n_shards: int,
+    *,
+    test: str,
+    mem_mb: float,
+) -> ShardedResult:
+    """One real multi-process sharded render (frames copied out)."""
+    return render_sharded(
+        manifest.directory, n_shards, test=test, mem_mb=mem_mb,
+    )
+
+
+def scenario_row(scenario: str, n_shards: int,
+                 result: ShardedResult) -> Dict[str, float]:
+    """Flatten one sharded run into a JSON-ready metrics row."""
+    return {
+        "scenario": scenario,
+        "n_shards": n_shards,
+        "n_frames": len(result.frames),
+        "triangles": result.triangles,
+        "wall_s": result.wall_s,
+        "pressure_rounds": result.pressure_rounds,
+        "reclaims": result.reclaims,
+        "units_added": result.stats.units_added,
+        "bytes_read": float(result.io_totals.get("bytes_read", 0)),
+    }
+
+
+def sweep_rows(sweep: ShardSweepResult) -> Sequence[Dict[str, float]]:
+    """Flatten the simulator sweep points."""
+    return [
+        {
+            "n_shards": p.n_shards,
+            "makespan_s": p.makespan_s,
+            "throughput_units_s": p.throughput_units_s,
+            "speedup": p.speedup,
+            "balance": p.balance,
+            "visible_io_s": p.visible_io_s,
+        }
+        for p in sweep.points
+    ]
+
+
+def default_sweep(
+    shard_counts: Optional[Sequence[int]] = None,
+) -> ShardSweepResult:
+    """The guarded private-disk sweep on the Engle machine model."""
+    kwargs = {}
+    if shard_counts is not None:
+        kwargs["shard_counts"] = tuple(shard_counts)
+    return shard_sweep(ENGLE, SWEEP_WORKLOAD, **kwargs)
+
+
+def sharded_gbo_json(
+    results_dir: str,
+    scenarios: Sequence[Dict[str, float]],
+    sweep: ShardSweepResult,
+    *,
+    workload: Dict[str, object],
+    bit_identical: bool,
+    sweep_speedup_4: float,
+) -> str:
+    """Write ``BENCH_sharded_gbo.json``; returns its path."""
+    payload = {
+        "experiment": "sharded_gbo",
+        "workload": dict(workload),
+        "calibration_s": calibration_seconds(),
+        "scenarios": list(scenarios),
+        "sweep": list(sweep_rows(sweep)),
+        "bit_identical": bit_identical,
+        "sweep_speedup_4": sweep_speedup_4,
+    }
+    path = os.path.join(results_dir, "BENCH_sharded_gbo.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+    return path

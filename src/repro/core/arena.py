@@ -1,0 +1,529 @@
+"""BufferArena — pluggable buffer allocation for the GODIVA engine.
+
+GODIVA's record layer manages buffer *locations* (section 3.1); where
+the bytes physically live was hard-coded as process-private
+``bytearray`` storage. This module turns that decision into a seam: an
+:class:`Arena` hands out buffers, and every allocation site in the
+engine (record payloads via :class:`~repro.core.record.FieldBuffer`,
+derived products via :class:`~repro.core.derived.DerivedCache`) asks
+its arena instead of the heap.
+
+Two arenas ship:
+
+* :class:`HeapArena` — the default. ``alloc_raw`` returns a fresh
+  ``bytearray``, exactly the storage the engine always used, so the
+  default build is byte-identical (and allocation-path identical) to
+  the pre-arena engine.
+* :class:`SharedMemoryArena` — a segmented bump allocator over
+  ``multiprocessing.shared_memory``. Buffers live in named OS shared
+  memory, so a *sharded* GBO (``repro.parallel.sharded``) can render
+  into its arena and let the coordinator map frames zero-copy: the
+  producer calls :meth:`Arena.seal` + :meth:`Arena.export_token`, the
+  consumer calls :func:`attach_token` and receives a **read-only**
+  ndarray view of the same physical pages — the PR-5 read-only-view
+  discipline extended across process boundaries (attached views are
+  built over ``memoryview.toreadonly()`` so they cannot be flipped
+  writable).
+
+Lifetime rules: the creating process owns every segment and unlinks
+them all in :meth:`Arena.close`; attachers only ever ``close()`` their
+mapping. Creator and attachers registered with the same
+``resource_tracker`` (the multiprocessing default for spawned children)
+therefore end tracker-clean — the leak test in
+``tests/test_core_arena.py`` checks ``/dev/shm`` directly.
+
+Lock discipline: ``SharedMemoryArena`` owns the *arena* lock — a leaf
+below every engine lock (rank 3 in DESIGN's table) — guarding the
+segment table and the tracked-array map. ``HeapArena`` is stateless and
+lock-free. See ``repro.analysis.lockfacts``.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.primitives import TrackedLock, make_held_checker
+from repro.analysis.races import guarded_by
+from repro.errors import ArenaError
+
+#: Default byte size of one shared-memory segment; allocations larger
+#: than this get a dedicated segment of exactly their size.
+DEFAULT_SEGMENT_BYTES = 8 * 1024 * 1024
+
+#: Allocation alignment inside a segment (numpy SIMD kernels want 64).
+ALIGNMENT = 64
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+
+@dataclass(frozen=True)
+class BufferToken:
+    """A picklable handle to one sealed arena buffer.
+
+    Names *where the bytes live* (segment + offset + length) and *how to
+    view them* (dtype string + shape); crossing a process boundary costs
+    exactly these few dozen bytes — the payload is never copied.
+    """
+
+    segment: str
+    offset: int
+    nbytes: int
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+class Allocation:
+    """One raw arena allocation: a writable buffer plus its address.
+
+    ``view`` is the storage object field buffers hold — a ``bytearray``
+    from :class:`HeapArena` (process-private) or a ``memoryview`` into a
+    shared segment from :class:`SharedMemoryArena`. Both support
+    ``len``, slice assignment, and ``np.frombuffer``, which is all the
+    record layer needs.
+    """
+
+    __slots__ = ("segment", "offset", "nbytes", "view", "sealed")
+
+    def __init__(self, segment: Optional[str], offset: int, nbytes: int,
+                 view) -> None:
+        self.segment = segment
+        self.offset = offset
+        self.nbytes = nbytes
+        self.view = view
+        self.sealed = False
+
+
+class Arena:
+    """The buffer-allocation protocol the engine layers program against.
+
+    Raw interface (field buffers): :meth:`alloc_raw` / :meth:`free_raw`.
+    Array interface (derived products, frames): :meth:`allocate` returns
+    a tracked ndarray; :meth:`seal` makes it read-only and exportable;
+    :meth:`release` returns its bytes; :meth:`export_token` /
+    :func:`attach_token` move it across a process boundary without
+    copying. Subclasses implement the raw primitives; the tracked-array
+    bookkeeping lives here.
+    """
+
+    #: Whether buffers are visible to other processes (token export).
+    shareable = False
+
+    # -- raw primitives (subclass responsibility) ----------------------
+    def alloc_raw(self, nbytes: int) -> Allocation:
+        raise NotImplementedError
+
+    def free_raw(self, alloc: Allocation) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear the arena down; shared segments are unlinked."""
+
+    # -- tracked-array interface ---------------------------------------
+    def _track(self, alloc: Allocation) -> None:
+        """Remember an array allocation for seal/release/export lookup."""
+
+    def _find(self, array: np.ndarray) -> Optional[Allocation]:
+        """The tracked allocation backing ``array``, or None."""
+        return None
+
+    def _untrack(self, alloc: Allocation) -> None:
+        """Forget a tracked allocation."""
+
+    def allocate(self, nbytes: Optional[int] = None,
+                 dtype: object = np.uint8,
+                 shape: Optional[Tuple[int, ...]] = None) -> np.ndarray:
+        """A writable ndarray backed by arena storage.
+
+        ``shape`` (with ``dtype``) determines the byte size when
+        ``nbytes`` is omitted; a flat byte buffer needs only ``nbytes``.
+        """
+        dt = np.dtype(dtype)
+        if shape is not None:
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            needed = count * dt.itemsize
+            if nbytes is None:
+                nbytes = needed
+            elif nbytes != needed:
+                raise ArenaError(
+                    f"allocate: nbytes={nbytes} does not match "
+                    f"shape {shape} of {dt} ({needed} bytes)"
+                )
+        if nbytes is None:
+            raise ArenaError("allocate needs nbytes or shape")
+        if nbytes % dt.itemsize != 0:
+            raise ArenaError(
+                f"allocate: {nbytes} bytes is not a multiple of the "
+                f"{dt} item size {dt.itemsize}"
+            )
+        alloc = self.alloc_raw(nbytes)
+        self._track(alloc)
+        array = np.frombuffer(alloc.view, dtype=dt)
+        if shape is not None:
+            array = array.reshape(shape)
+        return array
+
+    def _require(self, array: np.ndarray, op: str) -> Allocation:
+        alloc = self._find(array)
+        if alloc is None:
+            raise ArenaError(
+                f"{op}: array is not a tracked allocation of this arena"
+            )
+        return alloc
+
+    def seal(self, array: np.ndarray) -> np.ndarray:
+        """Freeze a tracked array (``writeable=False``) for sharing.
+
+        Sealing is the precondition for :meth:`export_token`: only
+        immutable buffers may cross a process boundary, which is what
+        keeps zero-copy attachment sound.
+        """
+        alloc = self._require(array, "seal")
+        alloc.sealed = True
+        array.flags.writeable = False
+        return array
+
+    def is_sealed(self, array: np.ndarray) -> bool:
+        """Whether a tracked array has been sealed."""
+        return self._require(array, "is_sealed").sealed
+
+    def release(self, array: np.ndarray) -> int:
+        """Free a tracked array's storage; returns the bytes returned.
+
+        Tolerates untracked arrays (returns 0) so cache eviction can
+        release values wholesale without knowing which of them the
+        arena produced.
+        """
+        alloc = self._find(array)
+        if alloc is None:
+            return 0
+        self._untrack(alloc)
+        return self.free_raw(alloc)
+
+    def export_token(self, array: np.ndarray) -> BufferToken:
+        """A :class:`BufferToken` for a sealed, tracked array."""
+        raise ArenaError(
+            f"{type(self).__name__} buffers are process-private and "
+            f"cannot be exported; use SharedMemoryArena"
+        )
+
+    def report(self) -> dict:
+        """Diagnostic snapshot (segments, bytes) for memory reports."""
+        return {"kind": type(self).__name__, "shareable": self.shareable}
+
+
+class HeapArena(Arena):
+    """Process-private heap allocation — the engine's historical
+    behaviour, byte for byte.
+
+    ``alloc_raw`` returns a fresh zero-filled ``bytearray`` exactly as
+    ``FieldBuffer`` always allocated; there is no bookkeeping and no
+    lock, so the default GBO build pays nothing for the seam. Tracked
+    arrays (the :meth:`Arena.allocate` interface) are plain heap
+    ndarrays: :meth:`seal` works (read-only flag), :meth:`export_token`
+    raises :class:`~repro.errors.ArenaError`.
+    """
+
+    shareable = False
+
+    def __init__(self) -> None:
+        self._tracked: Dict[int, Allocation] = {}
+
+    def alloc_raw(self, nbytes: int) -> Allocation:
+        """A fresh zero-filled ``bytearray`` — the historical storage."""
+        return Allocation(None, 0, nbytes, bytearray(nbytes))
+
+    def free_raw(self, alloc: Allocation) -> int:
+        """Drop the buffer reference; the heap reclaims it."""
+        alloc.view = None
+        return alloc.nbytes
+
+    def _track(self, alloc: Allocation) -> None:
+        address = np.frombuffer(
+            alloc.view, dtype=np.uint8
+        ).__array_interface__["data"][0]
+        self._tracked[address] = alloc
+
+    def _find(self, array: np.ndarray) -> Optional[Allocation]:
+        address = array.__array_interface__["data"][0]
+        return self._tracked.get(address)
+
+    def _untrack(self, alloc: Allocation) -> None:
+        address = np.frombuffer(
+            alloc.view, dtype=np.uint8
+        ).__array_interface__["data"][0]
+        self._tracked.pop(address, None)
+
+
+class _Segment:
+    """One shared-memory segment and its bump-allocator state."""
+
+    __slots__ = ("shm", "top", "live", "dedicated", "retired")
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 dedicated: bool) -> None:
+        self.shm = shm
+        self.top = 0          # bump pointer
+        self.live = 0         # outstanding allocations
+        self.dedicated = dedicated
+        self.retired = False  # no longer accepts new allocations
+
+
+@guarded_by("_segments", "_tracked", "_arena_closed", lock="_lock")
+class SharedMemoryArena(Arena):
+    """Buffers in named OS shared memory, exportable across processes.
+
+    A segmented bump allocator: allocations pack into
+    ``segment_bytes``-sized segments (64-byte aligned); oversized
+    requests get a dedicated segment. A segment is unlinked as soon as
+    it is *retired* (no longer the open segment) and its last
+    allocation is freed; :meth:`close` unlinks everything else. Only
+    the creating process unlinks — attachers (see
+    :func:`attach_token`) merely close their mapping.
+
+    The arena lock is a leaf (rank 3): it nests inside the engine and
+    record locks at the allocation sites and is never held across a
+    blocking operation.
+    """
+
+    shareable = True
+
+    def __init__(self, name_prefix: Optional[str] = None,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES) -> None:
+        if segment_bytes < ALIGNMENT:
+            raise ValueError("segment_bytes must be at least one "
+                             f"alignment unit ({ALIGNMENT})")
+        if name_prefix is None:
+            name_prefix = f"godiva-{secrets.token_hex(4)}"
+        self.name_prefix = name_prefix
+        self.segment_bytes = segment_bytes
+        self._lock = TrackedLock(f"SharedMemoryArena._lock@{id(self):#x}")
+        self._check_locked = make_held_checker(
+            self._lock, "SharedMemoryArena helper"
+        )
+        self._segments: Dict[str, _Segment] = {}
+        self._tracked: Dict[int, Allocation] = {}
+        self._next_seq = 0
+        self._arena_closed = False
+
+    # ------------------------------------------------------------------
+    def _new_segment_locked(self, nbytes: int, dedicated: bool) -> _Segment:
+        """Create and register a fresh segment. Lock held."""
+        self._check_locked()
+        name = f"{self.name_prefix}-{self._next_seq}"
+        self._next_seq += 1
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(nbytes, 1))
+        segment = _Segment(shm, dedicated)
+        self._segments[name] = segment
+        return segment
+
+    def _open_segment_locked(self, nbytes: int) -> Tuple[_Segment, int]:
+        """A segment with ``nbytes`` of room and the offset. Lock held."""
+        self._check_locked()
+        if nbytes > self.segment_bytes:
+            segment = self._new_segment_locked(nbytes, dedicated=True)
+            segment.top = nbytes
+            return segment, 0
+        for segment in self._segments.values():
+            if segment.retired or segment.dedicated:
+                continue
+            offset = _align(segment.top)
+            if offset + nbytes <= segment.shm.size:
+                segment.top = offset + nbytes
+                return segment, offset
+            # Full: retire so it can be unlinked once drained.
+            segment.retired = True
+        segment = self._new_segment_locked(self.segment_bytes,
+                                           dedicated=False)
+        segment.top = nbytes
+        return segment, 0
+
+    def alloc_raw(self, nbytes: int) -> Allocation:
+        """Bump-allocate ``nbytes`` (64-byte aligned) in shared memory."""
+        if nbytes < 0:
+            raise ValueError("buffer size must be non-negative")
+        with self._lock:
+            if self._arena_closed:
+                raise ArenaError("arena is closed")
+            segment, offset = self._open_segment_locked(max(nbytes, 1))
+            segment.live += 1
+            view = segment.shm.buf[offset:offset + nbytes]
+            # Fresh segments are zero pages, but a recycled extent of a
+            # shared segment may hold old bytes; match bytearray(n).
+            view[:] = bytes(nbytes)
+            return Allocation(segment.shm.name, offset, nbytes, view)
+
+    def free_raw(self, alloc: Allocation) -> int:
+        """Release one allocation; drained retired segments unlink."""
+        if alloc.view is not None:
+            try:
+                alloc.view.release()
+            except BufferError:  # caller-held views; GC reclaims them
+                pass
+            alloc.view = None
+        unlinkable: List[shared_memory.SharedMemory] = []
+        with self._lock:
+            segment = self._segments.get(alloc.segment)
+            if segment is not None:
+                segment.live -= 1
+                if (segment.dedicated or segment.retired) \
+                        and segment.live <= 0:
+                    self._segments.pop(alloc.segment)
+                    unlinkable.append(segment.shm)
+        for shm in unlinkable:
+            _destroy_segment(shm)
+        return alloc.nbytes
+
+    # -- tracked-array bookkeeping -------------------------------------
+    def _track(self, alloc: Allocation) -> None:
+        address = np.frombuffer(
+            alloc.view, dtype=np.uint8
+        ).__array_interface__["data"][0] if alloc.nbytes else id(alloc)
+        with self._lock:
+            self._tracked[address] = alloc
+
+    def _find(self, array: np.ndarray) -> Optional[Allocation]:
+        address = array.__array_interface__["data"][0]
+        with self._lock:
+            return self._tracked.get(address)
+
+    def _untrack(self, alloc: Allocation) -> None:
+        with self._lock:
+            for address, candidate in list(self._tracked.items()):
+                if candidate is alloc:
+                    self._tracked.pop(address)
+                    break
+
+    # ------------------------------------------------------------------
+    def export_token(self, array: np.ndarray) -> BufferToken:
+        """A :class:`BufferToken` another process can attach.
+
+        Requires the array to be sealed — exporting writable memory
+        would let two processes race on the same pages.
+        """
+        alloc = self._require(array, "export_token")
+        if not alloc.sealed:
+            raise ArenaError(
+                "export_token: seal the array first (only immutable "
+                "buffers cross process boundaries)"
+            )
+        return BufferToken(
+            segment=alloc.segment,
+            offset=alloc.offset,
+            nbytes=alloc.nbytes,
+            dtype=array.dtype.str,
+            shape=tuple(array.shape),
+        )
+
+    def close(self) -> None:
+        """Unlink every segment. Idempotent; creator-only."""
+        with self._lock:
+            if self._arena_closed:
+                return
+            self._arena_closed = True
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._tracked.clear()
+        for segment in segments:
+            _destroy_segment(segment.shm)
+
+    def report(self) -> dict:
+        """Segment count, reserved bytes, and live allocations."""
+        with self._lock:
+            segments = len(self._segments)
+            reserved = sum(s.shm.size for s in self._segments.values())
+            live = sum(s.live for s in self._segments.values())
+        return {
+            "kind": "SharedMemoryArena",
+            "shareable": True,
+            "segments": segments,
+            "reserved_bytes": reserved,
+            "live_allocations": live,
+        }
+
+
+#: Mappings whose ``close()`` failed because caller-held views still
+#: pin them. Parking the wrapper here keeps ``SharedMemory.__del__``
+#: from retrying the close at GC time (an unraisable ``BufferError``);
+#: the pages themselves stay mapped until process exit, which is the
+#: best that can be done while a view is alive — the segment is already
+#: unlinked, so nothing leaks in ``/dev/shm``.
+_PINNED_MAPPINGS: List[shared_memory.SharedMemory] = []
+
+
+def _close_mapping(shm: shared_memory.SharedMemory) -> None:
+    """Unmap one segment, parking it if live views prevent the close."""
+    try:
+        shm.close()
+    except BufferError:
+        _PINNED_MAPPINGS.append(shm)
+
+
+def _destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close + unlink one segment, tolerating still-exported views.
+
+    ``mmap.close`` raises ``BufferError`` while numpy views into the
+    mapping are alive; the *unlink* must still happen (it is what keeps
+    ``/dev/shm`` and the resource tracker clean) and the mapping itself
+    is reclaimed when the last view is garbage-collected.
+    """
+    _close_mapping(shm)
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class AttachedBuffer:
+    """A consumer-side mapping of one exported arena buffer.
+
+    ``array`` is a zero-copy, **read-only** ndarray over the shared
+    pages — built from ``memoryview.toreadonly()``, so not even
+    ``flags.writeable = True`` can re-arm writes. Close (or use as a
+    context manager) when done; closing only unmaps, it never unlinks
+    (the creating arena owns the segment's lifetime).
+    """
+
+    __slots__ = ("token", "_shm", "_array")
+
+    def __init__(self, token: BufferToken) -> None:
+        self.token = token
+        self._shm = shared_memory.SharedMemory(name=token.segment)
+        ro = self._shm.buf[
+            token.offset:token.offset + token.nbytes
+        ].toreadonly()
+        array = np.frombuffer(ro, dtype=np.dtype(token.dtype))
+        self._array = array.reshape(token.shape)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The read-only zero-copy view of the shared pages."""
+        if self._array is None:
+            raise ArenaError("attached buffer is closed")
+        return self._array
+
+    def close(self) -> None:
+        """Unmap; never unlinks (the creating arena owns that)."""
+        if self._shm is None:
+            return
+        self._array = None
+        _close_mapping(self._shm)  # parked if a caller kept a view alive
+        self._shm = None
+
+    def __enter__(self) -> "AttachedBuffer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def attach_token(token: BufferToken) -> AttachedBuffer:
+    """Map an exported buffer into this process, read-only, zero-copy."""
+    return AttachedBuffer(token)

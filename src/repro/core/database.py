@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.analysis.primitives import TrackedCondition, TrackedLock
 from repro.analysis.races import guarded_by
+from repro.core.arena import Arena, HeapArena
 from repro.core.cache import EvictionPolicy
 from repro.core.compute import ComputePool
 from repro.core.derived import DerivedCache
@@ -59,7 +60,13 @@ class GBO:
     ``derived_cache=False`` disables the budget-charged derived-data
     memo cache (:attr:`derived`); ``compute_workers`` sizes the
     compute plane's worker pool (:attr:`compute`; 1 = the
-    paper-faithful serial build — tasks run inline); ``clock``
+    paper-faithful serial build — tasks run inline); ``arena`` is the
+    :class:`~repro.core.arena.Arena` every buffer (unit payloads,
+    derived products) is allocated from — default a private
+    :class:`~repro.core.arena.HeapArena`, byte-identical to plain heap
+    storage; pass a :class:`~repro.core.arena.SharedMemoryArena` to
+    place buffers in OS shared memory (the sharded build; the GBO
+    closes only arenas it created itself); ``clock``
     injects the monotonic-seconds source; ``unit_event_hook(event,
     unit_name, now)`` observes unit transitions under the engine lock
     (see :class:`repro.core.trace.UnitTracer`).
@@ -76,6 +83,7 @@ class GBO:
         eviction_policy: Union[str, "EvictionPolicy"] = "lru",
         derived_cache: bool = True,
         compute_workers: int = 1,
+        arena: Optional[Arena] = None,
         clock: Callable[[], float] = time.monotonic,
         unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
     ):
@@ -90,8 +98,11 @@ class GBO:
         self.stats = GodivaStats()
         self._closing = False
         self._closed = False
+        self._owns_arena = arena is None
+        self._arena = arena if arena is not None else HeapArena()
 
-        self._records = RecordEngine(stats=self.stats, clock=clock)
+        self._records = RecordEngine(stats=self.stats, clock=clock,
+                                     arena=self._arena)
         self._store = UnitStore(lock=self._lock, cond=self._cond, stats=self.stats,
                                 clock=clock, unit_event_hook=unit_event_hook)
         self._mem = MemoryManager(budget, policy=eviction_policy, lock=self._lock,
@@ -100,13 +111,14 @@ class GBO:
                                clock=clock, workers=io_workers if background_io else 0)
         self._derived = (
             DerivedCache(self._mem, lock=self._lock, cond=self._cond, stats=self.stats,
-                         clock=clock, event_hook=unit_event_hook)
+                         clock=clock, event_hook=unit_event_hook, arena=self._arena)
             if derived_cache else None
         )
         self._store.bind(memory=self._mem, scheduler=self._io)
         self._mem.bind(units=self._store, scheduler=self._io,
                        release_records=self._records.drop_unit_records,
-                       closing=lambda: self._closing, derived=self._derived)
+                       closing=lambda: self._closing, derived=self._derived,
+                       arena=self._arena)
         self._io.bind(owner=self, units=self._store, memory=self._mem,
                       check_open=self._check_open, closing=lambda: self._closing)
         self._records.bind(charge=self._charge_bytes, release=self._release_bytes,
@@ -151,6 +163,14 @@ class GBO:
         memoize derived arrays (see ``repro.core.derived``).
         """
         return self._derived
+
+    @property
+    def arena(self) -> Arena:
+        """The buffer arena every record payload and derived product is
+        allocated from (a :class:`~repro.core.arena.HeapArena` unless
+        one was injected). Shard hosts expose frames from it via
+        ``export_token``."""
+        return self._arena
 
     @property
     def compute(self) -> ComputePool:
@@ -217,6 +237,10 @@ class GBO:
             self._closed = True
             self._cond.notify_all()
         self._records.shutdown()
+        if self._owns_arena:
+            # Injected arenas outlive the GBO (the shard host tears its
+            # arena down after the coordinator detaches its views).
+            self._arena.close()
 
     def __enter__(self) -> "GBO":
         return self

@@ -26,6 +26,15 @@ workers.
 Entry values are frozen (``writeable=False``) before insertion: callers
 receive shared arrays, and sharing is only safe because nobody can
 mutate them — the zero-copy contract the read path mirrors.
+
+When the cache is built over a shareable
+:class:`~repro.core.arena.Arena` (the sharded build's
+``SharedMemoryArena``), inserted ndarray values are *copied into the
+arena and sealed* before caching, so cached frames and soups live in
+shared memory: a shard host can hand its coordinator an
+``export_token`` for a cached frame and the compositor reads it
+zero-copy. The copy happens once at insert time, outside the engine
+lock; eviction releases the arena storage.
 """
 
 from __future__ import annotations
@@ -82,6 +91,38 @@ def nbytes_of(value: Any) -> int:
     if hook is not None:
         return int(hook())
     return int(sys.getsizeof(value))
+
+
+def share_value(arena: object, value: Any) -> Any:
+    """Copy a value's ndarrays into ``arena`` storage, sealed.
+
+    Recurses into tuples/lists (preserving the container type); leaves
+    non-array values alone. The returned structure is the one to cache:
+    every array in it is arena-tracked, read-only, and exportable.
+    """
+    if isinstance(value, np.ndarray):
+        copy = arena.allocate(dtype=value.dtype, shape=value.shape)
+        np.copyto(copy, value)
+        return arena.seal(copy)
+    if isinstance(value, tuple):
+        return tuple(share_value(arena, item) for item in value)
+    if isinstance(value, list):
+        return [share_value(arena, item) for item in value]
+    return value
+
+
+def release_value(arena: object, value: Any) -> int:
+    """Return a value's arena-tracked arrays to the arena.
+
+    The inverse of :func:`share_value`; untracked arrays are skipped
+    (``Arena.release`` tolerates them), so it is safe to call on any
+    evicted entry. Returns the bytes released.
+    """
+    if isinstance(value, np.ndarray):
+        return arena.release(value)
+    if isinstance(value, (tuple, list)):
+        return sum(release_value(arena, item) for item in value)
+    return 0
 
 
 def freeze_value(value: Any) -> Any:
@@ -159,6 +200,12 @@ class DerivedCache:
         (the GBO wires its ``unit_event_hook``), invoked with the
         engine lock held; events are ``derived_cached`` /
         ``derived_hit`` / ``derived_evicted``.
+    arena:
+        Optional :class:`~repro.core.arena.Arena`. When it is
+        *shareable* (shared memory), inserted ndarrays are copied into
+        arena storage and sealed so cached products can be exported to
+        other processes; heap arenas (and ``None``) cache values in
+        place, unchanged.
     """
 
     def __init__(
@@ -170,6 +217,7 @@ class DerivedCache:
         stats: Optional[object] = None,
         clock: Callable[[], float] = time.monotonic,
         event_hook: Optional[Callable[[str, str, float], None]] = None,
+        arena: Optional[object] = None,
     ) -> None:
         if lock is None:
             lock = memory.lock
@@ -181,6 +229,11 @@ class DerivedCache:
         self._memory = memory
         self.stats = stats if stats is not None else memory.stats
         self._event_hook = event_hook
+        #: Arena for shareable storage of cached products; None or a
+        #: non-shareable arena caches values in place.
+        self._arena = arena if (
+            arena is not None and arena.shareable
+        ) else None
         self._entries: Dict[str, _Entry] = {}
         #: Identity -> content-token memo (FIFO-capped side table; the
         #: few dozen bytes per token are not worth budget accounting).
@@ -231,23 +284,36 @@ class DerivedCache:
         freeze_value(value)
         if nbytes is None:
             nbytes = nbytes_of(value)
+        # Copy into shared storage *outside* the lock (it is a bulk
+        # memcpy); released again on every path that does not cache it.
+        shared = (
+            share_value(self._arena, value)
+            if self._arena is not None else None
+        )
+        store = shared if shared is not None else value
         name = self.policy_name(key)
         with self._cond:
             existing = self._entries.get(name)
             if existing is not None:
+                if shared is not None:
+                    release_value(self._arena, shared)
                 return existing.value
             budget = self._memory.accountant.budget_bytes
             if nbytes > budget * MAX_ENTRY_BUDGET_FRACTION:
+                if shared is not None:
+                    release_value(self._arena, shared)
                 return value
             try:
                 self._memory.charge(nbytes)
             except MemoryBudgetError:
+                if shared is not None:
+                    release_value(self._arena, shared)
                 return value
-            self._entries[name] = _Entry(value, nbytes)
+            self._entries[name] = _Entry(store, nbytes)
             self._memory.policy.add(name)
             self.stats.derived_bytes += nbytes
             self._emit("derived_cached", name)
-            return value
+            return store
 
     def get_or_compute(self, key: Any, compute: Callable[[], Any],
                        nbytes: Optional[int] = None) -> Any:
@@ -308,6 +374,8 @@ class DerivedCache:
         """
         self._check_locked()
         entry = self._entries.pop(name)
+        if self._arena is not None:
+            release_value(self._arena, entry.value)
         self._memory.release(entry.nbytes, None)
         self.stats.derived_bytes -= entry.nbytes
         self.stats.derived_evictions += 1

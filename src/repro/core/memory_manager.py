@@ -104,6 +104,7 @@ class MemoryManager:
         self._units = None
         self._scheduler = None
         self._derived = None
+        self._arena = None
         self._release_records: Callable[[str], int] = lambda name: 0
         self._closing: Callable[[], bool] = lambda: False
 
@@ -115,6 +116,7 @@ class MemoryManager:
         scheduler: Optional[object] = None,
         closing: Optional[Callable[[], bool]] = None,
         derived: Optional[object] = None,
+        arena: Optional[object] = None,
     ) -> None:
         """Wire the collaborating layers and seams.
 
@@ -124,7 +126,10 @@ class MemoryManager:
         database has begun shutting down (read with the lock held);
         ``derived`` is the optional
         :class:`~repro.core.derived.DerivedCache` whose entries share
-        this manager's budget and eviction policy.
+        this manager's budget and eviction policy; ``arena`` is the
+        :class:`~repro.core.arena.Arena` the payload bytes live in —
+        accounting is arena-agnostic, the manager only surfaces the
+        arena's segment statistics in :meth:`report`.
         """
         self._units = units
         self._scheduler = scheduler
@@ -133,6 +138,8 @@ class MemoryManager:
             self._closing = closing
         if derived is not None:
             self._derived = derived
+        if arena is not None:
+            self._arena = arena
 
     # ------------------------------------------------------------------
     # Accessors
@@ -208,7 +215,8 @@ class MemoryManager:
         if not self._accountant.can_ever_fit(nbytes):
             raise MemoryBudgetError(
                 f"allocation of {nbytes} bytes exceeds the total budget of "
-                f"{self._accountant.budget_bytes} bytes"
+                f"{self._accountant.budget_bytes} bytes",
+                needed=nbytes,
             )
         thread = threading.current_thread()
         scheduler = self._scheduler
@@ -248,7 +256,8 @@ class MemoryManager:
                 f"{self._accountant.used_bytes}/"
                 f"{self._accountant.budget_bytes} "
                 f"bytes in use and no finished unit is evictable — "
-                f"finish_unit/delete_unit processed units to free space"
+                f"finish_unit/delete_unit processed units to free space",
+                needed=nbytes,
             )
         self._accountant.charge(nbytes)
         self.stats.bytes_allocated += nbytes
@@ -413,7 +422,7 @@ class MemoryManager:
             self._derived.resident_bytes_locked()
             if self._derived is not None else 0
         )
-        return {
+        report = {
             "budget_bytes": self._accountant.budget_bytes,
             "used_bytes": used,
             "high_water_bytes": self._accountant.high_water_bytes,
@@ -424,6 +433,9 @@ class MemoryManager:
             ),
             "evictable_units": list(self._policy),
         }
+        if self._arena is not None:
+            report["arena"] = self._arena.report()
+        return report
 
     def drain(self) -> None:
         """Empty the eviction policy (close path). Lock held."""

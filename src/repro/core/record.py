@@ -6,6 +6,12 @@ Figure 2). GODIVA manages buffer *locations*, never interpreting contents;
 the visualization code accesses the buffers directly. Here a buffer is a
 ``bytearray`` exposed through zero-copy numpy views, which is the closest
 Python analogue of handing out a raw pointer.
+
+Where the bytes live is pluggable: pass an
+:class:`~repro.core.arena.Arena` and buffers come from it instead of
+the heap (``SharedMemoryArena`` puts them in OS shared memory for the
+sharded GBO). With no arena — or the default ``HeapArena`` — storage is
+the historical ``bytearray``, byte for byte.
 """
 
 from __future__ import annotations
@@ -26,13 +32,25 @@ class FieldBuffer:
     :attr:`allocated` is False and accessors raise.
     """
 
-    __slots__ = ("field_type", "_data")
+    __slots__ = ("field_type", "_data", "_arena", "_alloc")
 
-    def __init__(self, field_type: FieldType):
+    def __init__(self, field_type: FieldType, arena=None):
         self.field_type = field_type
-        self._data: Optional[bytearray] = None
+        #: Storage: a ``bytearray`` (heap) or an arena allocation's view
+        #: (a writable ``memoryview`` for shared memory) — both support
+        #: ``len``, slice assignment, and ``np.frombuffer``.
+        self._data = None
+        self._arena = arena
+        self._alloc = None
         if field_type.has_known_size:
-            self._data = bytearray(field_type.size)
+            self._new_storage(field_type.size)
+
+    def _new_storage(self, nbytes: int) -> None:
+        if self._arena is None:
+            self._data = bytearray(nbytes)
+        else:
+            self._alloc = self._arena.alloc_raw(nbytes)
+            self._data = self._alloc.view
 
     @property
     def allocated(self) -> bool:
@@ -67,7 +85,7 @@ class FieldBuffer:
                 f"multiple of the {self.field_type.data_type.name} item "
                 f"size {self.field_type.data_type.itemsize}"
             )
-        self._data = bytearray(nbytes)
+        self._new_storage(nbytes)
 
     def release(self) -> int:
         """Drop the buffer, returning the number of bytes freed."""
@@ -75,6 +93,9 @@ class FieldBuffer:
             return 0
         freed = len(self._data)
         self._data = None
+        if self._alloc is not None:
+            self._arena.free_raw(self._alloc)
+            self._alloc = None
         return freed
 
     # ------------------------------------------------------------------
@@ -141,7 +162,7 @@ class Record:
 
     __slots__ = ("record_type", "_buffers", "committed", "unit_name", "_key")
 
-    def __init__(self, record_type: RecordType):
+    def __init__(self, record_type: RecordType, arena=None):
         if not record_type.committed:
             raise SchemaError(
                 f"record type {record_type.name!r} is not committed; "
@@ -149,7 +170,7 @@ class Record:
             )
         self.record_type = record_type
         self._buffers: Dict[str, FieldBuffer] = {
-            name: FieldBuffer(record_type.field(name))
+            name: FieldBuffer(record_type.field(name), arena)
             for name in record_type.field_names
         }
         self.committed = False

@@ -79,6 +79,12 @@ class RecordEngine:
         Monotonic-seconds callable (kept for seam symmetry).
     index:
         Injectable key index; defaults to a fresh :class:`RecordIndex`.
+    arena:
+        The :class:`~repro.core.arena.Arena` records allocate their
+        field buffers from; ``None`` keeps plain heap ``bytearray``
+        storage (identical to ``HeapArena``). The facade passes its
+        arena here so unit payloads land in shared memory under a
+        sharded build.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class RecordEngine:
         stats: Optional[GodivaStats] = None,
         clock: Callable[[], float] = time.monotonic,
         index: Optional[RecordIndex] = None,
+        arena=None,
     ) -> None:
         self._lock = TrackedLock(f"RecordEngine._lock@{id(self):#x}")
         self._cond = TrackedCondition(self._lock)
@@ -94,6 +101,7 @@ class RecordEngine:
             self._lock, "RecordEngine helper"
         )
         self._clock = clock
+        self._arena = arena
         self.stats = stats if stats is not None else GodivaStats()
         self._field_types: Dict[str, FieldType] = {}
         self._record_types: Dict[str, RecordType] = {}
@@ -298,7 +306,11 @@ class RecordEngine:
                 )
         upfront = record_type.fixed_size_bytes() + RECORD_OVERHEAD_BYTES
         self._charge(upfront)
-        record = Record(record_type)
+        try:
+            record = Record(record_type, arena=self._arena)
+        except BaseException:
+            self._release(upfront, None)
+            raise
         with self._lock:
             self._index.track(record, self._current_load_unit())
         return record

@@ -125,6 +125,41 @@ class GodivaStats:
         data["wait_max_seconds"] = max(samples) if samples else 0.0
         return data
 
+    #: High-water gauges: a fleet-wide peak is the worst single
+    #: engine's peak, never a sum across engines.
+    _PEAK_FIELDS = ("queue_depth_peak", "compute_queue_depth_peak")
+
+    def merge(self, other: "GodivaStats") -> None:
+        """Fold another stats object's counters into this one.
+
+        Monotonic counters and timers add (``derived_bytes`` too: each
+        engine's currently-cached bytes coexist in the aggregate);
+        high-water gauges take the max; wait samples concatenate. The
+        sharded coordinator uses this to aggregate per-shard engine
+        stats into one cluster report.
+
+        GodivaStats owns no lock of its own — every field is guarded
+        by its engine's lock (the ``compute_*`` counters by the pool's
+        leaf lock), so a caller merging two *live* stats objects must
+        hold both owning engine locks, acquired in id order exactly as
+        :meth:`repro.io.disk.IoStats.merge` acquires its own pair. The
+        sharded coordinator never faces that case: each shard's final
+        stats arrive by value over the result queue after the shard's
+        engine has closed, so both operands are dead copies. Merging
+        an instance into itself is a no-op.
+        """
+        if other is self:
+            return
+        for name in self.__dataclass_fields__:
+            if name == "wait_samples":
+                self.wait_samples.extend(other.wait_samples)
+            elif name in self._PEAK_FIELDS:
+                setattr(self, name, max(getattr(self, name),
+                                        getattr(other, name)))
+            else:
+                setattr(self, name,
+                        getattr(self, name) + getattr(other, name))
+
     def reset(self) -> None:
         for name, fld in self.__dataclass_fields__.items():
             if fld.default_factory is not MISSING:

@@ -9,6 +9,8 @@ raised by the storage substrate.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class GodivaError(Exception):
     """Base class for every error raised by the ``repro`` library."""
@@ -51,7 +53,25 @@ class UnitStateError(GodivaError):
 
 
 class MemoryBudgetError(GodivaError):
-    """A single allocation can never fit in the configured memory budget."""
+    """A single allocation can never fit in the configured memory budget.
+
+    ``needed`` carries the failing request's byte size when the raise
+    site knows it (the memory manager's charge path); the sharded
+    coordinator's pressure protocol uses it to size cross-shard
+    reclamation. ``None`` when no single request is at fault.
+    """
+
+    def __init__(self, message: str, *,
+                 needed: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.needed = needed
+
+
+class ArenaError(GodivaError):
+    """Misuse of a :class:`~repro.core.arena.Arena`: exporting from a
+    process-private arena, exporting an unsealed buffer, allocating
+    from a closed arena, or operating on an array the arena does not
+    track."""
 
 
 class GodivaDeadlockError(GodivaError):

@@ -10,13 +10,38 @@ The paper uses MPI; communication is nil by design, so
 ``multiprocessing`` preserves the behaviour (each worker owns its private
 GODIVA database, exactly like the per-processor GBO objects of
 section 3.3).
+
+The sharded build (:mod:`repro.parallel.sharded`) goes one step
+further: the per-process engines allocate from shared-memory arenas,
+placement (:mod:`repro.parallel.placement`) assigns units to shards
+deterministically, and the coordinator arbitrates one global memory
+budget and reads frames zero-copy.
 """
 
 from repro.parallel.launcher import ParallelResult, run_parallel_voyager
-from repro.parallel.scheduler import partition_snapshots
+from repro.parallel.placement import (
+    PlacementMap,
+    rendezvous_shard,
+    weighted_assignment,
+)
+from repro.parallel.scheduler import STRATEGIES, partition_snapshots
+from repro.parallel.sharded import (
+    ShardedGBO,
+    ShardedResult,
+    ShardSpec,
+    render_sharded,
+)
 
 __all__ = [
     "partition_snapshots",
+    "STRATEGIES",
     "run_parallel_voyager",
     "ParallelResult",
+    "PlacementMap",
+    "rendezvous_shard",
+    "weighted_assignment",
+    "ShardedGBO",
+    "ShardedResult",
+    "ShardSpec",
+    "render_sharded",
 ]

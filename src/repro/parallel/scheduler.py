@@ -2,20 +2,34 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
+
+#: The valid ``strategy`` arguments of :func:`partition_snapshots`.
+STRATEGIES = ("block", "cyclic", "weighted")
 
 
 def partition_snapshots(n_snapshots: int, n_workers: int,
-                        strategy: str = "block") -> List[List[int]]:
+                        strategy: str = "block",
+                        weights: Optional[Sequence[float]] = None
+                        ) -> List[List[int]]:
     """Assign snapshot indices to workers.
 
     ``block``: contiguous near-equal ranges (Voyager's scheme — workers
     process disjoint stretches of the time series).
     ``cyclic``: round-robin, which balances better when per-snapshot cost
     drifts over time.
+    ``weighted``: longest-processing-time-first over per-snapshot cost
+    ``weights`` (any non-negative unit: estimated seconds, bytes,
+    triangle counts) — each snapshot goes to the least-loaded worker,
+    heaviest first, with deterministic index-order tie-breaking. The
+    shard placement layer uses this to balance heterogeneous snapshot
+    costs across shard hosts. ``weights`` must have one entry per
+    snapshot; omitted weights mean equal cost (which reduces to a
+    round-robin-like spread).
 
     Every snapshot is assigned exactly once; workers may receive empty
-    lists when there are more workers than snapshots.
+    lists when there are more workers than snapshots. Each worker's
+    list is in ascending snapshot order.
     """
     if n_snapshots < 0:
         raise ValueError("negative snapshot count")
@@ -35,6 +49,30 @@ def partition_snapshots(n_snapshots: int, n_workers: int,
         for step in range(n_snapshots):
             assignment[step % n_workers].append(step)
         return assignment
+    if strategy == "weighted":
+        if weights is None:
+            weights = [1.0] * n_snapshots
+        if len(weights) != n_snapshots:
+            raise ValueError(
+                f"weights must have one entry per snapshot "
+                f"({len(weights)} given for {n_snapshots} snapshots)"
+            )
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        assignment = [[] for _ in range(n_workers)]
+        loads = [0.0] * n_workers
+        # Heaviest first; ties broken by snapshot index, then worker
+        # index — fully deterministic.
+        order = sorted(range(n_snapshots),
+                       key=lambda step: (-weights[step], step))
+        for step in order:
+            worker = min(range(n_workers), key=lambda w: (loads[w], w))
+            assignment[worker].append(step)
+            loads[worker] += weights[step]
+        for worker_steps in assignment:
+            worker_steps.sort()
+        return assignment
     raise ValueError(
-        f"unknown strategy {strategy!r}; choose 'block' or 'cyclic'"
+        f"unknown strategy {strategy!r}; choose one of "
+        + ", ".join(repr(s) for s in STRATEGIES)
     )

@@ -13,7 +13,9 @@ package provides a small discrete-event simulation substrate:
 * :mod:`repro.simulate.workload` — per-test I/O + compute cost profiles,
   traced from the real pipeline or calibrated to the paper's scale;
 * :mod:`repro.simulate.runner` — the simulated Voyager schedules
-  (O / G / TG, with an optional CPU-hogging competitor for TG1).
+  (O / G / TG, with an optional CPU-hogging competitor for TG1);
+* :mod:`repro.simulate.shards` — the sharded-GBO scaling sweep over
+  the real rendezvous placement (dozens of simulated shard hosts).
 """
 
 from repro.simulate.cluster import (
@@ -32,6 +34,12 @@ from repro.simulate.resources import (
     SimSemaphore,
 )
 from repro.simulate.runner import SimRunResult, simulate_voyager
+from repro.simulate.shards import (
+    ShardSweepPoint,
+    ShardSweepResult,
+    shard_sweep,
+    simulate_sharded_gbo,
+)
 from repro.simulate.tenants import (
     TenantOutcome,
     TenantSpec,
@@ -60,6 +68,10 @@ __all__ = [
     "simulate_voyager",
     "ClusterRunResult",
     "simulate_cluster_voyager",
+    "ShardSweepPoint",
+    "ShardSweepResult",
+    "shard_sweep",
+    "simulate_sharded_gbo",
     "TenantSpec",
     "TenantOutcome",
     "WorkloadResult",

@@ -1,0 +1,206 @@
+"""Simulated sharded-GBO sweep: Figure-3 methodology at cluster scale.
+
+The real sharded build (:mod:`repro.parallel.sharded`) is bounded by
+what one machine can spawn; this module answers the scaling question
+the paper's Figure 3 asks — how does aggregate throughput grow with
+processors? — for *dozens* of simulated shard-host processes, using the
+**real placement code**: snapshot units are named with
+:func:`repro.io.readers.snapshot_unit_name` and assigned by the same
+rendezvous :class:`~repro.parallel.placement.PlacementMap` the live
+coordinator uses, so the simulated sweep inherits the genuine placement
+skew (binomial imbalance shrinking as units/shard grows), not an
+idealized even split.
+
+Each simulated shard host mirrors the TG build: a background I/O
+process prefetches its shard's units through a bounded memory window
+(the per-shard budget slice, in units) while the render process
+consumes them; disks are private per shard host or one shared device
+(the cluster-filesystem regime, where the storage service time bounds
+the makespan regardless of shard count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.simulate.cluster import ClusterRunResult, WorkerRun
+from repro.simulate.engine import Simulator
+from repro.simulate.machine import Machine
+from repro.simulate.resources import (
+    DiskFifo,
+    ProcessorPool,
+    SimLatch,
+    SimSemaphore,
+)
+from repro.simulate.workload import TestWorkload
+
+#: Default shard counts of :func:`shard_sweep` — "dozens of simulated
+#: processes" at the top end.
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8, 16, 24, 32)
+
+
+@dataclass
+class ShardSweepPoint:
+    """One sweep point: the fleet's outcome at a given shard count."""
+
+    n_shards: int
+    total_units: int
+    makespan_s: float
+    throughput_units_s: float
+    speedup: float
+    #: Placement skew: units on the fullest shard over the even share
+    #: (1.0 = perfectly balanced).
+    balance: float
+    visible_io_s: float
+
+
+@dataclass
+class ShardSweepResult:
+    """A full sweep plus its workload identification."""
+
+    test: str
+    shared_disk: bool
+    points: List[ShardSweepPoint] = field(default_factory=list)
+
+    def point(self, n_shards: int) -> ShardSweepPoint:
+        """The sweep point at ``n_shards`` (raises if absent)."""
+        for candidate in self.points:
+            if candidate.n_shards == n_shards:
+                return candidate
+        raise KeyError(f"no sweep point at {n_shards} shards")
+
+
+def _placement_assignment(n_units: int,
+                          n_shards: int) -> List[List[int]]:
+    """Snapshot steps per shard under the live rendezvous placement."""
+    from repro.io.readers import snapshot_unit_name, unit_step
+    from repro.parallel.placement import PlacementMap
+
+    placement = PlacementMap([f"shard{i}" for i in range(n_shards)])
+    groups = placement.partition(
+        [snapshot_unit_name(step) for step in range(n_units)]
+    )
+    return [
+        sorted(unit_step(name) for name in groups[f"shard{i}"])
+        for i in range(n_shards)
+    ]
+
+
+def simulate_sharded_gbo(
+    machine: Machine,
+    workload: TestWorkload,
+    n_shards: int,
+    shared_disk: bool = False,
+    window_units: int = 12,
+) -> ClusterRunResult:
+    """Simulate one sharded-GBO run at a fixed shard count.
+
+    Every shard host runs the TG pipeline over its rendezvous-assigned
+    units: an I/O process prefetches through a ``window_units``-deep
+    budget window (the shard's memory slice, expressed in units), the
+    render process consumes in order. ``shared_disk`` funnels every
+    host through one storage device.
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    if window_units < 1:
+        raise ValueError("window_units must be at least 1")
+
+    assignment = _placement_assignment(workload.n_snapshots, n_shards)
+    profile = workload.godiva
+    disk_s = profile.disk_seconds(machine.disk)
+    parse_s = profile.parse_seconds(machine)
+
+    sim = Simulator()
+    if shared_disk:
+        shared = DiskFifo(sim)
+        disks = [shared] * n_shards
+    else:
+        disks = [DiskFifo(sim) for _ in range(n_shards)]
+    cpus = [
+        ProcessorPool(sim, machine.n_cpus,
+                      contention=machine.smp_contention)
+        for _ in range(n_shards)
+    ]
+
+    result = ClusterRunResult(
+        mode="TG", n_workers=n_shards, shared_disk=shared_disk
+    )
+    finished: List[WorkerRun] = [None] * n_shards  # type: ignore
+
+    for shard_index, units in enumerate(assignment):
+        cpu = cpus[shard_index]
+        disk = disks[shard_index]
+        n_units = len(units)
+        waits: List[float] = []
+        window = SimSemaphore(sim, window_units)
+        loaded = [SimLatch(sim) for _ in range(n_units)]
+
+        def _io_proc(cpu=cpu, disk=disk, window=window,
+                    loaded=loaded, n_units=n_units):
+            for i in range(n_units):
+                yield window.acquire()
+                yield disk.read(disk_s)
+                yield cpu.use(parse_s)
+                loaded[i].set()
+
+        def _main_proc(shard_index=shard_index, cpu=cpu,
+                      window=window, loaded=loaded,
+                      n_units=n_units, waits=waits):
+            for i in range(n_units):
+                t0 = sim.now
+                yield loaded[i].wait()
+                waits.append(sim.now - t0)
+                yield cpu.use(workload.compute_s)
+                window.release()
+            finished[shard_index] = WorkerRun(
+                worker=shard_index, n_units=n_units,
+                finish_s=sim.now, visible_io_s=sum(waits),
+            )
+
+        sim.spawn(_io_proc())
+        sim.spawn(_main_proc())
+
+    sim.run()
+    result.workers = [run for run in finished if run is not None]
+    unique_disks = {id(d): d for d in disks}
+    result.disk_busy_s = sum(
+        d.busy_seconds for d in unique_disks.values()
+    )
+    return result
+
+
+def shard_sweep(
+    machine: Machine,
+    workload: TestWorkload,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    shared_disk: bool = False,
+    window_units: int = 12,
+) -> ShardSweepResult:
+    """Throughput vs shard count over the real placement function."""
+    sweep = ShardSweepResult(test=workload.test,
+                             shared_disk=shared_disk)
+    base_makespan = None
+    for n_shards in shard_counts:
+        run = simulate_sharded_gbo(
+            machine, workload, n_shards,
+            shared_disk=shared_disk, window_units=window_units,
+        )
+        makespan = run.makespan_s
+        if base_makespan is None:
+            base_makespan = makespan
+        counts = [w.n_units for w in run.workers if w.n_units]
+        even_share = workload.n_snapshots / n_shards
+        sweep.points.append(ShardSweepPoint(
+            n_shards=n_shards,
+            total_units=sum(w.n_units for w in run.workers),
+            makespan_s=makespan,
+            throughput_units_s=(
+                workload.n_snapshots / makespan if makespan else 0.0
+            ),
+            speedup=base_makespan / makespan if makespan else 0.0,
+            balance=(max(counts) / even_share) if counts else 0.0,
+            visible_io_s=run.total_visible_io_s,
+        ))
+    return sweep

@@ -232,6 +232,36 @@ class TestRep107EngineImports:
         assert rules(src, path) == []
 
 
+class TestRep107ArenaImports:
+    """The arena seam's blessed surface is wider than the engine's —
+    the parallel layer and the API facade allocate directly — but the
+    rendering layer must stay arena-agnostic."""
+
+    def test_viz_arena_import_flagged(self):
+        src = DOC + "from repro.core.arena import SharedMemoryArena\n"
+        violations = lint.lint_source(src, "src/repro/viz/image.py")
+        assert [v.rule for v in violations] == ["REP107"]
+        assert "arena-agnostic" in violations[0].message
+
+    def test_viz_arena_submodule_import_flagged(self):
+        src = DOC + "from repro.core import arena\n"
+        assert rules(src, "src/repro/viz/x.py") == ["REP107"]
+
+    def test_viz_plain_arena_import_flagged(self):
+        src = DOC + "import repro.core.arena\n"
+        assert rules(src, "src/repro/viz/x.py") == ["REP107"]
+
+    @pytest.mark.parametrize("path", [
+        "src/repro/core/database.py",
+        "src/repro/service/service.py",
+        "src/repro/parallel/sharded.py",
+        "src/repro/api.py",
+    ])
+    def test_blessed_surface_exempt(self, path):
+        src = DOC + "from repro.core.arena import HeapArena\n"
+        assert rules(src, path) == []
+
+
 class TestRep108EngineTimeAndIo:
     def test_time_sleep_in_core_flagged(self):
         src = DOC + (

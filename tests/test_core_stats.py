@@ -64,3 +64,61 @@ def test_snapshot_keys_track_dataclass_fields_exactly():
     assert set(snap) == expected_scalar | derived, (
         "snapshot() keys diverged from GodivaStats fields + derived keys"
     )
+
+
+def test_merge_sums_counters_and_maxes_peaks():
+    a = GodivaStats()
+    a.units_added = 3
+    a.wait_seconds = 1.0
+    a.queue_depth_peak = 5
+    a.compute_queue_depth_peak = 2
+    a.derived_bytes = 100
+    a.wait_samples = [0.5, 1.0]
+    b = GodivaStats()
+    b.units_added = 4
+    b.wait_seconds = 0.25
+    b.queue_depth_peak = 3
+    b.compute_queue_depth_peak = 7
+    b.derived_bytes = 50
+    b.wait_samples = [2.0]
+    a.merge(b)
+    assert a.units_added == 7
+    assert a.wait_seconds == 1.25
+    assert a.queue_depth_peak == 5          # max, not sum
+    assert a.compute_queue_depth_peak == 7  # max, not sum
+    assert a.derived_bytes == 150
+    assert a.wait_samples == [0.5, 1.0, 2.0]
+    # the source is untouched
+    assert b.units_added == 4
+    assert b.wait_samples == [2.0]
+
+
+def test_merge_self_is_noop():
+    stats = GodivaStats()
+    stats.units_added = 2
+    stats.wait_samples = [1.0]
+    stats.merge(stats)
+    assert stats.units_added == 2
+    assert stats.wait_samples == [1.0]
+
+
+def test_merge_covers_every_field():
+    """Regression: a new GodivaStats field must merge correctly.
+
+    merge() iterates __dataclass_fields__, so setting every numeric
+    field to 1 on both sides must produce 2 (or 1 for the declared
+    peak fields, which take max).
+    """
+    a = GodivaStats()
+    b = GodivaStats()
+    for name in a.__dataclass_fields__:
+        if name == "wait_samples":
+            continue
+        setattr(a, name, 1)
+        setattr(b, name, 1)
+    a.merge(b)
+    for name in a.__dataclass_fields__:
+        if name == "wait_samples":
+            continue
+        expected = 1 if name in GodivaStats._PEAK_FIELDS else 2
+        assert getattr(a, name) == expected, name

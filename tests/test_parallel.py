@@ -43,6 +43,47 @@ class TestPartitioning:
         with pytest.raises(ValueError):
             partition_snapshots(4, 2, "zigzag")
 
+    def test_invalid_names_every_strategy(self):
+        with pytest.raises(ValueError) as excinfo:
+            partition_snapshots(4, 2, "zigzag")
+        message = str(excinfo.value)
+        for strategy in ("block", "cyclic", "weighted"):
+            assert repr(strategy) in message
+
+    def test_weighted_balances_loads(self):
+        # One heavy snapshot: LPT puts it alone, the six light ones
+        # share the other worker.
+        parts = partition_snapshots(
+            7, 2, "weighted", weights=[6, 1, 1, 1, 1, 1, 1]
+        )
+        assert parts == [[0], [1, 2, 3, 4, 5, 6]]
+
+    def test_weighted_every_snapshot_exactly_once(self):
+        weights = [(i * 7 + 3) % 11 + 1 for i in range(13)]
+        parts = partition_snapshots(13, 4, "weighted", weights=weights)
+        flat = sorted(i for part in parts for i in part)
+        assert flat == list(range(13))
+        assert all(part == sorted(part) for part in parts)
+
+    def test_weighted_deterministic(self):
+        weights = [3.0, 3.0, 3.0, 3.0]
+        first = partition_snapshots(4, 2, "weighted", weights=weights)
+        second = partition_snapshots(4, 2, "weighted", weights=weights)
+        assert first == second
+
+    def test_weighted_uniform_defaults(self):
+        # No weights -> every snapshot costs 1; counts stay even.
+        parts = partition_snapshots(8, 3, "weighted")
+        assert sorted(len(p) for p in parts) == [2, 3, 3]
+
+    def test_weighted_validation(self):
+        with pytest.raises(ValueError):
+            partition_snapshots(4, 2, "weighted", weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            partition_snapshots(
+                3, 2, "weighted", weights=[1.0, -2.0, 1.0]
+            )
+
 
 class TestParallelRun:
     def base_config(self, dataset, **kwargs):

@@ -1,0 +1,144 @@
+"""ShardedGBO: real shard processes, byte-identity, budget protocol."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.database import GBO
+from repro.errors import GodivaDeadlockError
+from repro.io.readers import (
+    make_snapshot_read_fn,
+    snapshot_unit_name,
+    solid_schema,
+)
+from repro.parallel.sharded import ShardedGBO, render_sharded
+from repro.viz.camera import Camera
+from repro.viz.gops import test_gops as make_test_gops
+from repro.viz.pipeline import Pipeline
+from repro.viz.voyager import GodivaSnapshotData
+
+pytestmark = pytest.mark.races
+
+TEST = "simple"
+
+
+def serial_frames(dataset, mem_mb=64.0):
+    """The single-process reference frames for the simple op-set."""
+    gops = make_test_gops(TEST)
+    camera = Camera.fit_bounds((-1.7, -1.7, 0.0), (1.7, 1.7, 10.0))
+    pipeline = Pipeline(gops, camera=camera, render=True)
+    gbo = GBO(mem_mb=mem_mb)
+    read_fn = make_snapshot_read_fn(dataset, fields=gops.fields_used())
+    solid_schema().ensure(gbo)
+    steps = range(len(dataset.snapshots))
+    for step in steps:
+        gbo.add_unit(snapshot_unit_name(step), read_fn)
+    frames = {}
+    for step in steps:
+        unit = snapshot_unit_name(step)
+        gbo.wait_unit(unit)
+        plan = pipeline.begin(GodivaSnapshotData(
+            gbo, dataset.snapshots[step].tsid, dataset.block_ids,
+        ))
+        frames[step] = pipeline.finish(plan).image.tobytes()
+        gbo.delete_unit(unit)
+    gbo.close()
+    return frames
+
+
+class TestByteIdentity:
+    def test_two_shards_match_serial(self, small_dataset):
+        reference = serial_frames(small_dataset)
+        result = render_sharded(
+            small_dataset.directory, 2, test=TEST, mem_mb=64.0,
+        )
+        assert result.frames.keys() == reference.keys()
+        for step, frame in result.frames.items():
+            assert not frame.flags.writeable
+            assert frame.tobytes() == reference[step]
+
+    def test_zero_copy_frames_valid_until_close(self, small_dataset):
+        reference = serial_frames(small_dataset)
+        with ShardedGBO(small_dataset.directory, 2, test=TEST,
+                        mem_mb=64.0) as cluster:
+            result = cluster.render_all()
+            # Frames are read-only views over shard shared memory.
+            for step, frame in result.frames.items():
+                assert not frame.flags.writeable
+                with pytest.raises(ValueError):
+                    frame[0] = 0
+                assert frame.tobytes() == reference[step]
+
+    def test_shared_memory_released_after_close(self, small_dataset):
+        before = set(glob.glob("/dev/shm/godiva-*"))
+        with ShardedGBO(small_dataset.directory, 2, test=TEST,
+                        mem_mb=64.0) as cluster:
+            cluster.render_all()
+        assert set(glob.glob("/dev/shm/godiva-*")) == before
+
+
+class TestBudgetProtocol:
+    def test_pressure_steals_budget_and_still_renders(
+            self, small_dataset):
+        """A slice too small for one step forces the pressure path:
+        the coordinator work-steals slack from the peer, grants it,
+        and every frame still comes out byte-identical."""
+        reference = serial_frames(small_dataset)
+        result = render_sharded(
+            small_dataset.directory, 2, test=TEST,
+            mem_mb=0.09375,          # slice 48 KiB < the ~64 KiB floor
+            carveout_fraction=0.25,  # floors low -> stealable slack
+            background_io=False,
+        )
+        assert result.pressure_rounds > 0
+        assert result.reclaims > 0
+        assert result.frames.keys() == reference.keys()
+        for step, frame in result.frames.items():
+            assert frame.tobytes() == reference[step]
+
+    def test_ledger_tracks_victims(self, small_dataset):
+        with ShardedGBO(small_dataset.directory, 2, test=TEST,
+                        mem_mb=0.09375, carveout_fraction=0.25,
+                        background_io=False) as cluster:
+            result = cluster.render_all()
+            assert result.pressure_rounds > 0
+            snapshot = cluster.ledger_snapshot()
+            assert set(snapshot) == {"shard0", "shard1"}
+            evictions = sum(
+                row["evictions"] for row in snapshot.values()
+            )
+            assert evictions == result.reclaims
+            assert evictions > 0
+
+    def test_no_slack_is_the_deadlock_verdict(self, small_dataset):
+        """carveout_fraction=1.0 leaves nothing to steal: pressure is
+        denied and the failure surfaces as GodivaDeadlockError."""
+        with pytest.raises(GodivaDeadlockError):
+            render_sharded(
+                small_dataset.directory, 2, test=TEST,
+                mem_mb=0.09375, carveout_fraction=1.0,
+                background_io=False,
+            )
+
+
+class TestValidation:
+    def test_bad_placement(self, small_dataset):
+        with pytest.raises(ValueError) as excinfo:
+            ShardedGBO(small_dataset.directory, 2, placement="spiral")
+        assert "rendezvous" in str(excinfo.value)
+
+    def test_bad_shard_count(self, small_dataset):
+        with pytest.raises(ValueError):
+            ShardedGBO(small_dataset.directory, 0)
+
+    def test_weighted_placement_assignment(self, small_dataset):
+        cluster = ShardedGBO(
+            small_dataset.directory, 2, placement="weighted",
+            weights=[10.0, 1.0, 1.0, 1.0],
+        )
+        try:
+            assert cluster.assignment["shard0"] == [0]
+            assert cluster.assignment["shard1"] == [1, 2, 3]
+        finally:
+            cluster.close()
