@@ -76,8 +76,19 @@ LOCK_TABLE: Dict[str, dict] = {
             ),
         },
     },
-    "arena": {
+    "compute_proc": {
         "rank": 3,
+        "leaf": True,
+        "owner": "ProcessComputePool._lock",
+        "classes": {
+            "ProcessComputePool": (
+                "_queue", "_closed", "_next_id", "_procs", "_started",
+                "_inflight",
+            ),
+        },
+    },
+    "arena": {
+        "rank": 4,
         "leaf": True,
         "owner": "SharedMemoryArena._lock",
         "classes": {
@@ -144,6 +155,12 @@ WIRING: Dict[Tuple[str, str], str] = {
     ("GodivaService", "_gbo"): "GBO",
     ("GodivaService", "_ledger"): "TenantLedger",
     ("ComputeTask", "_pool"): "ComputePool",
+    ("ProcComputeTask", "_pool"): "ProcessComputePool",
+    # GBO._compute is constructed in a backend branch (thread vs
+    # process); pin the inferred type to the thread pool — both pools
+    # share the submit/wait surface and the process pool's lock is its
+    # own role, checked through its own methods.
+    ("GBO", "_compute"): "ComputePool",
     # The arena seam: constructor/bind parameters are untyped (the core
     # layers must not depend on a concrete arena), so the shared-memory
     # arena — the one that owns a lock — is declared here.

@@ -83,6 +83,9 @@ _BLOCKING_TARGETS = frozenset({
     ("ComputePool", "submit"), ("ComputePool", "map"),
     ("ComputePool", "wait_all"), ("ComputePool", "_wait"),
     ("ComputeTask", "wait"),
+    ("ProcessComputePool", "submit"), ("ProcessComputePool", "map"),
+    ("ProcessComputePool", "wait_all"), ("ProcessComputePool", "_wait"),
+    ("ProcComputeTask", "wait"),
 })
 
 #: Per-function cap on distinct propagated entry locksets — plenty for

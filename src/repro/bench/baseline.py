@@ -28,6 +28,7 @@ DERIVED_BASELINE = "derived_cache.json"
 SERVICE_BASELINE = "service_tenants.json"
 TILES_BASELINE = "render_tiles.json"
 SHARDED_BASELINE = "sharded_gbo.json"
+COMPUTE_PROC_BASELINE = "compute_proc.json"
 
 #: pytest-benchmark artifact name expected in the results directory.
 MICRO_RESULTS = "benchmark_core_micro.json"
@@ -35,6 +36,7 @@ DERIVED_RESULTS = "BENCH_derived_cache.json"
 SERVICE_RESULTS = "BENCH_service_tenants.json"
 TILES_RESULTS = "BENCH_render_tiles.json"
 SHARDED_RESULTS = "BENCH_sharded_gbo.json"
+COMPUTE_PROC_RESULTS = "BENCH_compute_proc.json"
 
 
 def _read_json(path: str) -> Optional[dict]:
@@ -113,6 +115,20 @@ def distill_sharded(payload: dict) -> Dict[str, float]:
     }
 
 
+def distill_compute_proc(payload: dict) -> Dict[str, float]:
+    """BENCH_compute_proc.json -> the guarded scalar metrics."""
+    rows = {row["scenario"]: row for row in payload["scenarios"]}
+    proc = rows["process4"]
+    return {
+        "bit_identical": bool(payload["bit_identical"]),
+        "sim_speedup_process4": float(payload["sim_speedup_process4"]),
+        "sim_speedup_thread4": float(payload["sim_speedup_thread4"]),
+        "compute_dispatches_proc4": float(proc["compute_dispatches"]),
+        "compute_wall_proc4_s": float(proc["compute_wall_s"]),
+        "calibration_s": float(payload["calibration_s"]),
+    }
+
+
 def update_baselines(results_dir: str, baselines_dir: str) -> List[str]:
     """Rewrite the baselines from the current results; returns the
     files written (skips artifacts that were not produced)."""
@@ -156,6 +172,15 @@ def update_baselines(results_dir: str, baselines_dir: str) -> List[str]:
         path = os.path.join(baselines_dir, SHARDED_BASELINE)
         with open(path, "w") as f:
             json.dump(distill_sharded(sharded), f, indent=1,
+                      sort_keys=True)
+        written.append(path)
+    compute_proc = _read_json(
+        os.path.join(results_dir, COMPUTE_PROC_RESULTS)
+    )
+    if compute_proc is not None:
+        path = os.path.join(baselines_dir, COMPUTE_PROC_BASELINE)
+        with open(path, "w") as f:
+            json.dump(distill_compute_proc(compute_proc), f, indent=1,
                       sort_keys=True)
         written.append(path)
     return written
@@ -390,6 +415,73 @@ def compare_sharded(results_dir: str, baselines_dir: str,
     return failures
 
 
+def compare_compute_proc(results_dir: str, baselines_dir: str,
+                         tolerance: float) -> List[str]:
+    """Compute-plane bench comparison: bit-identity and the >= 3x
+    simulated process/4 bar are exact, the process-backend compute
+    wall is calibrated with a spawn-noise-tolerant bar."""
+    baseline = _read_json(
+        os.path.join(baselines_dir, COMPUTE_PROC_BASELINE)
+    )
+    current_payload = _read_json(
+        os.path.join(results_dir, COMPUTE_PROC_RESULTS)
+    )
+    if baseline is None:
+        return []
+    if current_payload is None:
+        return [f"missing current results {COMPUTE_PROC_RESULTS!r} "
+                f"(run bench_compute_proc)"]
+    current = distill_compute_proc(current_payload)
+    failures: List[str] = []
+    if not current["bit_identical"]:
+        failures.append(
+            "process-backend frames no longer bit-identical to the "
+            "serial renderer"
+        )
+    if current["compute_dispatches_proc4"] <= 0:
+        failures.append(
+            "process backend dispatched no tasks to worker processes "
+            "— the token path is no longer exercised"
+        )
+    if current["sim_speedup_process4"] < 3.0:
+        failures.append(
+            f"simulated process/4 compute speedup "
+            f"{current['sim_speedup_process4']:.2f}x dropped below "
+            f"the 3x acceptance bar"
+        )
+    if (current["sim_speedup_thread4"]
+            >= current["sim_speedup_process4"]):
+        failures.append(
+            "simulated thread/4 no longer trails process/4 — the GIL "
+            "model inverted"
+        )
+    floor = baseline["sim_speedup_process4"] * (1.0 - tolerance)
+    if current["sim_speedup_process4"] < floor:
+        failures.append(
+            f"compute_proc metric 'sim_speedup_process4' regressed: "
+            f"{current['sim_speedup_process4']:.2f} vs baseline "
+            f"{baseline['sim_speedup_process4']:.2f} "
+            f"(> -{tolerance:.0%})"
+        )
+    norm_base = (
+        baseline["compute_wall_proc4_s"] / baseline["calibration_s"]
+    )
+    norm_now = (
+        current["compute_wall_proc4_s"] / current["calibration_s"]
+    )
+    # Worker-process spawn and interpreter startup dominate small runs
+    # and swing with host load — same tripled tolerance as the sharded
+    # fleet wall, so only a genuine blow-up (not spawn noise) trips.
+    wall_tolerance = 3.0 * tolerance
+    if norm_now > norm_base * (1.0 + wall_tolerance):
+        failures.append(
+            f"process/4 calibrated compute wall regressed: "
+            f"{norm_now:.2f} vs baseline {norm_base:.2f} "
+            f"(> +{wall_tolerance:.0%})"
+        )
+    return failures
+
+
 def compare_all(results_dir: str, baselines_dir: str,
                 tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
     """All guards; returns the list of regression descriptions."""
@@ -399,4 +491,5 @@ def compare_all(results_dir: str, baselines_dir: str,
         + compare_service(results_dir, baselines_dir, tolerance)
         + compare_tiles(results_dir, baselines_dir, tolerance)
         + compare_sharded(results_dir, baselines_dir, tolerance)
+        + compare_compute_proc(results_dir, baselines_dir, tolerance)
     )

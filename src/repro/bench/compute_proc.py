@@ -1,0 +1,171 @@
+"""P1 — process-backed compute plane: serial vs thread vs process.
+
+The :class:`~repro.core.compute_proc.ProcessComputePool` claim is
+GIL-free parallelism over the arena seam: worker processes receive
+sealed shared-memory tokens (zero-copy attach), run the tile rasterizer
+and sub-block marching-tets kernels, and return results as tokens —
+while every frame stays **byte-for-byte identical** to the paper-
+faithful serial build.
+
+Two measurements back the claim:
+
+* **real runs** — the identical complex-test TG schedule at
+  serial / thread x 4 / process x 4, asserting bit-identity and that the
+  process backend actually dispatched tokenized tasks (wall speedups on
+  a CI box are whatever its core count allows, so the wall is guarded
+  by the calibrated baseline rather than a fixed bar);
+* **the simulator sweep** — the deterministic
+  :func:`~repro.simulate.runner.compute_sweep` on a four-core model
+  host, where the >= 3x process-backend acceptance bar is exact and
+  host-independent (mirroring how the W1 I/O-worker sweep is guarded).
+
+``BENCH_compute_proc.json`` carries both; the baseline regression CI
+guards it via :mod:`repro.bench.baseline`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.derived import calibration_seconds
+from repro.gen.snapshot import DatasetManifest
+from repro.simulate.runner import ComputeSweepPoint, compute_sweep
+from repro.simulate.workload import IoProfile, TestWorkload
+from repro.viz.voyager import Voyager, VoyagerConfig, VoyagerResult
+
+#: gbo_stats keys copied verbatim into each scenario row.
+_STAT_KEYS = (
+    "compute_tasks", "compute_steals", "compute_dispatches",
+    "compute_fallback_inline", "compute_token_bytes",
+    "compute_result_token_bytes", "compute_task_seconds",
+    "compute_queue_depth_peak",
+)
+
+#: Synthetic complex-test profile for the simulated sweep — the same
+#: section 4.1 shape the sharded sweep uses (GODIVA reads ~1/6 of the
+#: original bytes; the complex op-set is compute-heavy), which is where
+#: a compute plane matters.
+SWEEP_WORKLOAD = TestWorkload(
+    test="complex",
+    n_snapshots=32,
+    original=IoProfile(bytes_read=120e6, read_calls=600, seeks=60,
+                       settles=480, opens=48),
+    godiva=IoProfile(bytes_read=20e6, read_calls=100, seeks=10,
+                     settles=80, opens=8),
+    compute_s=0.8,
+)
+
+
+def run_compute(
+    manifest: DatasetManifest,
+    *,
+    compute_workers: int,
+    compute_backend: str = "thread",
+    mem_mb: float = 384.0,
+    test: str = "complex",
+    out_dir: Optional[str] = None,
+    best_of: int = 2,
+) -> VoyagerResult:
+    """One TG-build Voyager pass over every snapshot; returns the run
+    with the lowest compute wall of ``best_of`` repeats (frames are
+    identical across repeats, so the fastest run is as valid as any)."""
+    best: Optional[VoyagerResult] = None
+    for _ in range(max(1, best_of)):
+        config = VoyagerConfig(
+            data_dir=manifest.directory,
+            test=test,
+            mode="TG",
+            mem_mb=mem_mb,
+            compute_workers=compute_workers,
+            compute_backend=compute_backend,
+            render=True,
+            out_dir=out_dir,
+        )
+        result = Voyager(config).run()
+        if best is None or result.compute_wall_s < best.compute_wall_s:
+            best = result
+    return best
+
+
+def scenario_row(scenario: str, compute_workers: int,
+                 compute_backend: str,
+                 result: VoyagerResult) -> Dict[str, float]:
+    """Flatten one run into a JSON-ready metrics row."""
+    row: Dict[str, float] = {
+        "scenario": scenario,
+        "compute_workers": compute_workers,
+        "compute_backend": compute_backend,
+        "n_snapshots": result.n_snapshots,
+        "total_wall_s": result.total_wall_s,
+        "visible_io_wall_s": result.visible_io_wall_s,
+        "compute_wall_s": result.compute_wall_s,
+        "triangles": result.triangles,
+    }
+    stats = result.gbo_stats or {}
+    for key in _STAT_KEYS:
+        row[key] = stats.get(key, 0)
+    return row
+
+
+def sweep_rows(
+    points: Sequence[ComputeSweepPoint],
+) -> List[Dict[str, float]]:
+    """Simulated sweep points as JSON-ready rows."""
+    return [
+        {
+            "backend": point.backend,
+            "workers": point.workers,
+            "total_s": point.total_s,
+            "computation_s": point.computation_s,
+            "speedup": point.speedup,
+        }
+        for point in points
+    ]
+
+
+def run_compute_sweep(
+    workload: Optional[TestWorkload] = None,
+) -> List[ComputeSweepPoint]:
+    """The deterministic backend x worker-count simulator sweep the
+    bench emits and the baseline guards (four-core model host)."""
+    return compute_sweep(workload or SWEEP_WORKLOAD)
+
+
+def sweep_speedup(points: Sequence[ComputeSweepPoint],
+                  backend: str, workers: int) -> float:
+    """The sweep's speedup at one (backend, workers) cell."""
+    for point in points:
+        if point.backend == backend and point.workers == workers:
+            return point.speedup
+    raise KeyError(f"no sweep point for {backend}/{workers}")
+
+
+def compute_proc_json(
+    results_dir: str,
+    rows: Sequence[Dict[str, float]],
+    *,
+    workload: Dict[str, object],
+    sweep: Sequence[Dict[str, float]],
+    speedup_compute: float,
+    sim_speedup_process4: float,
+    sim_speedup_thread4: float,
+    bit_identical: bool,
+) -> str:
+    """Write ``BENCH_compute_proc.json``; returns its path."""
+    payload = {
+        "experiment": "compute_proc",
+        "workload": dict(workload),
+        "calibration_s": calibration_seconds(),
+        "scenarios": list(rows),
+        "sweep": list(sweep),
+        "speedup_compute": speedup_compute,
+        "sim_speedup_process4": sim_speedup_process4,
+        "sim_speedup_thread4": sim_speedup_thread4,
+        "bit_identical": bit_identical,
+    }
+    path = os.path.join(results_dir, "BENCH_compute_proc.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+    return path

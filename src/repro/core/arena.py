@@ -33,7 +33,7 @@ therefore end tracker-clean — the leak test in
 ``tests/test_core_arena.py`` checks ``/dev/shm`` directly.
 
 Lock discipline: ``SharedMemoryArena`` owns the *arena* lock — a leaf
-below every engine lock (rank 3 in DESIGN's table) — guarding the
+below every engine lock (rank 4 in DESIGN's table) — guarding the
 segment table and the tracked-array map. ``HeapArena`` is stateless and
 lock-free. See ``repro.analysis.lockfacts``.
 """
@@ -287,7 +287,7 @@ class SharedMemoryArena(Arena):
     the creating process unlinks — attachers (see
     :func:`attach_token`) merely close their mapping.
 
-    The arena lock is a leaf (rank 3): it nests inside the engine and
+    The arena lock is a leaf (rank 4): it nests inside the engine and
     record locks at the allocation sites and is never held across a
     blocking operation.
     """
@@ -402,6 +402,49 @@ class SharedMemoryArena(Arena):
                     break
 
     # ------------------------------------------------------------------
+    def locate(self, array: np.ndarray) -> Optional[BufferToken]:
+        """A token for *any* array whose bytes live in this arena.
+
+        Address-range lookup over the segment table: works for raw
+        ``alloc_raw`` views (field buffers) and slices of them, not
+        just tracked/sealed :meth:`allocate` arrays — which is what
+        lets the process compute plane export the engine's resident
+        field buffers zero-copy instead of staging a copy. Returns
+        ``None`` when the array is not C-contiguous or its storage is
+        not (or no longer) inside a live segment — callers fall back
+        to staging.
+
+        The seal discipline is intentionally bypassed, so the contract
+        shifts to the caller: the buffer must stay allocated and
+        unmodified for as long as any attachment of the returned token
+        is read (the compute plane guarantees this by holding the
+        owning unit pinned until every task referencing it settles).
+        """
+        interface = array.__array_interface__
+        if not array.flags["C_CONTIGUOUS"]:
+            return None
+        address = interface["data"][0]
+        nbytes = array.nbytes
+        with self._lock:
+            if self._arena_closed:
+                return None
+            for name, segment in self._segments.items():
+                if segment.shm.size == 0:
+                    continue
+                base = np.frombuffer(
+                    segment.shm.buf, dtype=np.uint8
+                ).__array_interface__["data"][0]
+                offset = address - base
+                if 0 <= offset and offset + nbytes <= segment.shm.size:
+                    return BufferToken(
+                        segment=name,
+                        offset=offset,
+                        nbytes=nbytes,
+                        dtype=array.dtype.str,
+                        shape=tuple(array.shape),
+                    )
+        return None
+
     def export_token(self, array: np.ndarray) -> BufferToken:
         """A :class:`BufferToken` another process can attach.
 

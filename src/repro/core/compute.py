@@ -134,7 +134,21 @@ class ComputePool:
         threads are spawned and the helping caller runs every task
         itself, same results, no scheduler churn. Tests pass an
         explicit count to force the threaded paths anywhere.
+    max_threads:
+        Hard cap on spawned worker threads, applied *after* the
+        ``spawn_threads``/auto sizing. This is the oversubscription
+        guard for hosts running several pools in one process (the
+        GBO's pool plus per-shard host pools each sizing by
+        ``os.cpu_count()`` would otherwise multiply):
+        :class:`~repro.parallel.sharded.ShardedGBO` divides the host's
+        cores among its shards through this knob. ``workers`` — and
+        therefore the helping/ordering semantics — is unchanged; only
+        the thread complement shrinks.
     """
+
+    #: Tasks run in this process: bound methods and closures are fine,
+    #: and arrays need no staging (see ProcessComputePool.distributed).
+    distributed = False
 
     def __init__(
         self,
@@ -148,9 +162,14 @@ class ComputePool:
         queue: Optional[object] = None,
         thread_factory: Callable[..., threading.Thread] = threading.Thread,
         spawn_threads: Optional[int] = None,
+        max_threads: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_threads is not None and max_threads < 0:
+            raise ValueError(
+                f"max_threads must be >= 0, got {max_threads}"
+            )
         if lock is None:
             lock = TrackedLock(f"ComputePool._lock@{id(self):#x}")
             cond = TrackedCondition(lock)
@@ -168,6 +187,7 @@ class ComputePool:
         self._name = name
         self._thread_factory = thread_factory
         self._spawn_threads = spawn_threads
+        self._max_threads = max_threads
         self._threads: List[threading.Thread] = []
         self._started = False
         self._closed = False
@@ -190,6 +210,8 @@ class ComputePool:
                 count = max(
                     0, min(self._workers, os.cpu_count() or 1) - 1
                 )
+            if self._max_threads is not None:
+                count = min(count, self._max_threads)
             spawned = [
                 self._thread_factory(
                     target=self._work_loop,
@@ -264,6 +286,18 @@ class ComputePool:
         self._check_locked()
         return len(self._queue)
 
+    def share(self, array: Any) -> Any:
+        """Mark an array for reuse across many tasks — identity here.
+
+        The thread backend shares the caller's address space, so there
+        is nothing to stage: the array itself is returned and task
+        bodies receive it directly. Exists so callers can write one
+        ``pool.share(...)`` call that is a no-op on threads and a
+        zero-copy token export on
+        :class:`~repro.core.compute_proc.ProcessComputePool`.
+        """
+        return array
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
@@ -327,9 +361,11 @@ class ComputePool:
         therefore progresses even if :meth:`start` was never called,
         and a waiting thread never idles while work is queued — on a
         single-core host the waiter ends up doing most of the work
-        itself, which is exactly the cheap path. Helping assumes task
-        bodies do not themselves wait on other compute tasks (none
-        do); such a task would recurse on the waiter's stack.
+        itself, which is exactly the cheap path. Task bodies that wait
+        on their *own* sub-tasks (the isosurface sub-block fan-out)
+        recurse on the waiter's stack: the inner wait helps or sleeps
+        on the same condition, bounded by the fan-out depth (one
+        level), so the recursion is shallow and cannot deadlock.
         """
         while True:
             with self._cond:

@@ -21,9 +21,10 @@ import numpy as np
 
 from repro.analysis.primitives import TrackedCondition, TrackedLock
 from repro.analysis.races import guarded_by
-from repro.core.arena import Arena, HeapArena
+from repro.core.arena import Arena, HeapArena, SharedMemoryArena
 from repro.core.cache import EvictionPolicy
 from repro.core.compute import ComputePool
+from repro.core.compute_proc import ProcessComputePool
 from repro.core.derived import DerivedCache
 from repro.core.io_scheduler import IoScheduler
 from repro.core.memory import MemoryAccountant, parse_budget
@@ -60,7 +61,17 @@ class GBO:
     ``derived_cache=False`` disables the budget-charged derived-data
     memo cache (:attr:`derived`); ``compute_workers`` sizes the
     compute plane's worker pool (:attr:`compute`; 1 = the
-    paper-faithful serial build — tasks run inline); ``arena`` is the
+    paper-faithful serial build — tasks run inline);
+    ``compute_backend`` picks the pool flavour — ``'thread'`` (the
+    default :class:`~repro.core.compute.ComputePool`) or ``'process'``
+    (a :class:`~repro.core.compute_proc.ProcessComputePool`, which
+    escapes the GIL by running kernels in worker processes fed through
+    arena tokens; with no injected arena the GBO then defaults its
+    arena to a :class:`~repro.core.arena.SharedMemoryArena` so
+    resident buffers export zero-copy);
+    ``compute_max_threads`` caps the thread pool's spawned complement
+    (and the process pool's worker count) so several pools in one
+    process do not oversubscribe the host; ``arena`` is the
     :class:`~repro.core.arena.Arena` every buffer (unit payloads,
     derived products) is allocated from — default a private
     :class:`~repro.core.arena.HeapArena`, byte-identical to plain heap
@@ -83,6 +94,8 @@ class GBO:
         eviction_policy: Union[str, "EvictionPolicy"] = "lru",
         derived_cache: bool = True,
         compute_workers: int = 1,
+        compute_backend: str = "thread",
+        compute_max_threads: Optional[int] = None,
         arena: Optional[Arena] = None,
         clock: Callable[[], float] = time.monotonic,
         unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
@@ -92,6 +105,11 @@ class GBO:
             raise ValueError("io_workers must be at least 1")
         if compute_workers < 1:
             raise ValueError("compute_workers must be at least 1")
+        if compute_backend not in ("thread", "process"):
+            raise ValueError(
+                f"compute_backend must be 'thread' or 'process', "
+                f"got {compute_backend!r}"
+            )
 
         self._lock = TrackedLock(f"GBO._lock@{id(self):#x}")
         self._cond = TrackedCondition(self._lock)
@@ -99,7 +117,15 @@ class GBO:
         self._closing = False
         self._closed = False
         self._owns_arena = arena is None
+        if arena is None and compute_backend == "process" \
+                and compute_workers > 1:
+            # Resident buffers must live in shareable memory for the
+            # process pool to export them zero-copy; a HeapArena would
+            # force a staging copy of every input.
+            arena = SharedMemoryArena()
+            self._owns_arena = True
         self._arena = arena if arena is not None else HeapArena()
+        self._compute_backend = compute_backend
 
         self._records = RecordEngine(stats=self.stats, clock=clock,
                                      arena=self._arena)
@@ -126,8 +152,18 @@ class GBO:
                            touch_unit=self._touch_unit)
         # The compute plane has its own leaf lock — pool tasks may take
         # the engine lock (extraction kernels do), never the reverse.
-        self._compute = ComputePool(compute_workers, name="godiva-compute",
-                                    stats=self.stats, clock=clock)
+        if compute_backend == "process" and compute_workers > 1:
+            self._compute = ProcessComputePool(
+                compute_workers, name="godiva-compute",
+                stats=self.stats, clock=clock,
+                share_arena=self._arena,
+                max_procs=compute_max_threads,
+            )
+        else:
+            self._compute = ComputePool(compute_workers,
+                                        name="godiva-compute",
+                                        stats=self.stats, clock=clock,
+                                        max_threads=compute_max_threads)
         self._io.start()
         self._compute.start()
         if type(self) is GBO:
@@ -184,6 +220,13 @@ class GBO:
     def compute_workers(self) -> int:
         """Configured compute-pool worker count (1 = serial inline)."""
         return self._compute.workers
+
+    @property
+    def compute_backend(self) -> str:
+        """The configured compute-plane flavour: ``'thread'`` or
+        ``'process'``. (With ``compute_workers=1`` both flavours run
+        tasks inline and no threads or processes exist.)"""
+        return self._compute_backend
 
     @property
     def background_io(self) -> bool:

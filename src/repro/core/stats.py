@@ -57,6 +57,12 @@ class GodivaStats:
     compute_task_seconds: float = 0.0  # summed task execution time
     compute_queue_depth_peak: int = 0  # most tasks ever pending at once
 
+    # --- process compute backend --------------------------------------
+    compute_dispatches: int = 0        # tasks shipped to worker processes
+    compute_fallback_inline: int = 0   # degraded to coordinator-inline
+    compute_token_bytes: int = 0       # input bytes moved as arena tokens
+    compute_result_token_bytes: int = 0  # result bytes returned as tokens
+
     # --- prefetch queue ----------------------------------------------
     queue_depth_peak: int = 0   # most units ever pending at once
     wait_boosts: int = 0        # waited-on units promoted to the front

@@ -100,6 +100,16 @@ class ComputePoolClosedError(GodivaError):
     when the pool shut down while the task was still queued."""
 
 
+class ComputeWorkerError(GodivaError):
+    """A compute-plane worker *process* failed in a way the original
+    exception cannot express across the process boundary.
+
+    Raised in place of a worker-side exception that could not be
+    pickled back to the coordinator, and when a task callable fails to
+    re-import inside a worker. Ordinary picklable task exceptions are
+    re-raised as themselves, same as the thread pool."""
+
+
 class AdmissionError(GodivaError):
     """The service cannot admit a session: the requested per-tenant
     carve-out would over-subscribe the global memory budget (and, in

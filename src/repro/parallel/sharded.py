@@ -40,6 +40,7 @@ cross-thread state inside a host flows through queues.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
 import threading
 import time
@@ -105,6 +106,14 @@ class ShardSpec:
     background_io: bool = True
     derived_cache: bool = True
     eviction_policy: str = "lru"
+    #: Compute-plane worker count inside this shard's GBO (1 = serial).
+    compute_workers: int = 1
+    #: Compute-plane backend for this shard: "thread" or "process".
+    compute_backend: str = "thread"
+    #: Oversubscription guard: cap on actual compute threads/processes
+    #: per shard (the coordinator divides the host's cores by the shard
+    #: count here). ``None`` leaves the pool's own sizing alone.
+    compute_max_threads: Optional[int] = None
     segment_bytes: int = 4 * _MB
     max_pressure_rounds: int = 8
     protocol_timeout_s: float = DEFAULT_PROTOCOL_TIMEOUT_S
@@ -204,6 +213,9 @@ class _ShardHost:
             io_workers=spec.io_workers,
             eviction_policy=spec.eviction_policy,
             derived_cache=spec.derived_cache,
+            compute_workers=spec.compute_workers,
+            compute_backend=spec.compute_backend,
+            compute_max_threads=spec.compute_max_threads,
             arena=self.arena,
         )
         self.io_stats = IoStats()
@@ -520,9 +532,18 @@ class ShardedGBO:
                  background_io: bool = True,
                  derived_cache: bool = True,
                  eviction_policy: str = "lru",
+                 compute_workers: int = 1,
+                 compute_backend: str = "thread",
                  protocol_timeout_s: float = DEFAULT_PROTOCOL_TIMEOUT_S):
         if n_shards < 1:
             raise ValueError("need at least one shard")
+        if compute_workers < 1:
+            raise ValueError("compute_workers must be at least 1")
+        if compute_backend not in ("thread", "process"):
+            raise ValueError(
+                "compute_backend must be 'thread' or 'process', "
+                f"got {compute_backend!r}"
+            )
         if placement not in PLACEMENTS:
             raise ValueError(
                 f"unknown placement {placement!r}; choose one of "
@@ -571,6 +592,10 @@ class ShardedGBO:
                     shard, int(slice_bytes * carveout_fraction)
                 )
 
+        # Oversubscription guard: n_shards pools each sizing themselves
+        # to the whole machine would run n_shards * cores compute
+        # threads. Divide the cores across shards instead.
+        shard_cap = max(1, (os.cpu_count() or 1) // n_shards)
         self._specs = [
             ShardSpec(
                 shard_index=index,
@@ -585,6 +610,9 @@ class ShardedGBO:
                 background_io=background_io,
                 derived_cache=derived_cache,
                 eviction_policy=eviction_policy,
+                compute_workers=compute_workers,
+                compute_backend=compute_backend,
+                compute_max_threads=shard_cap,
                 protocol_timeout_s=protocol_timeout_s,
             )
             for index, shard in enumerate(self.shard_ids)

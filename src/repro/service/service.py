@@ -519,7 +519,8 @@ class GodivaService:
 
     Construction mirrors :class:`~repro.core.database.GBO` (one
     ``mem``/``mem_mb``/``mem_bytes`` budget spelling, ``io_workers``,
-    ``eviction_policy``, ``derived_cache``, ``compute_workers``); the
+    ``eviction_policy``, ``derived_cache``, ``compute_workers``,
+    ``compute_backend``); the
     service always runs
     the *TG* build (background I/O) and wraps the chosen eviction
     policy in a :class:`~repro.service.tenancy.TenantAwareEvictionPolicy`
@@ -543,6 +544,7 @@ class GodivaService:
         eviction_policy: Union[str, EvictionPolicy] = "lru",
         derived_cache: bool = True,
         compute_workers: int = 1,
+        compute_backend: str = "thread",
         client_workers: int = 8,
         clock: Callable[[], float] = time.monotonic,
         unit_event_hook: Optional[Callable[[str, str, float], None]] = None,
@@ -557,6 +559,7 @@ class GodivaService:
             background_io=True, io_workers=io_workers,
             eviction_policy=TenantAwareEvictionPolicy(base, self._ledger),
             derived_cache=derived_cache, compute_workers=compute_workers,
+            compute_backend=compute_backend,
             clock=clock, unit_event_hook=unit_event_hook,
         )
         self._lock = self._gbo._lock

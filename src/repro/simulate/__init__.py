@@ -23,7 +23,7 @@ from repro.simulate.cluster import (
     simulate_cluster_voyager,
 )
 from repro.simulate.engine import Process, Simulator
-from repro.simulate.machine import ENGLE, TURING, Machine
+from repro.simulate.machine import ENGLE, TURING, Machine, compute_host
 from repro.simulate.resources import (
     Condition,
     DiskFifo,
@@ -33,7 +33,14 @@ from repro.simulate.resources import (
     SimLatch,
     SimSemaphore,
 )
-from repro.simulate.runner import SimRunResult, simulate_voyager
+from repro.simulate.runner import (
+    PROCESS_DISPATCH_OVERHEAD,
+    THREAD_GIL_FRACTION,
+    ComputeSweepPoint,
+    SimRunResult,
+    compute_sweep,
+    simulate_voyager,
+)
 from repro.simulate.shards import (
     ShardSweepPoint,
     ShardSweepResult,
@@ -62,10 +69,15 @@ __all__ = [
     "Machine",
     "ENGLE",
     "TURING",
+    "compute_host",
     "TestWorkload",
     "trace_workload",
     "SimRunResult",
     "simulate_voyager",
+    "ComputeSweepPoint",
+    "compute_sweep",
+    "THREAD_GIL_FRACTION",
+    "PROCESS_DISPATCH_OVERHEAD",
     "ClusterRunResult",
     "simulate_cluster_voyager",
     "ShardSweepPoint",

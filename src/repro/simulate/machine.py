@@ -61,6 +61,26 @@ ENGLE = Machine(
     smp_contention=0.05,
 )
 
+def compute_host(n_cpus: int = 4) -> Machine:
+    """An idealized ``n_cpus``-core host for compute-plane sweeps.
+
+    Engle's disk and parse costs, but zero SMP contention — so a
+    compute-worker sweep measures the *scheduling* model (GIL
+    serialization vs process overlap) rather than cache interference,
+    and the speedup arithmetic stays exact.
+    """
+    if n_cpus < 1:
+        raise ValueError("need at least one CPU")
+    return Machine(
+        name=f"compute{n_cpus}",
+        n_cpus=n_cpus,
+        disk=ENGLE_DISK,
+        parse_s_per_byte=1.5e-7,
+        parse_s_per_call=1.0e-4,
+        smp_contention=0.0,
+    )
+
+
 #: Turing's PIII cores are slower per clock; decode costs more CPU.
 TURING = Machine(
     name="turing",

@@ -25,12 +25,26 @@ computation-intensive program").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Sequence
 
 from repro.simulate.engine import Simulator
-from repro.simulate.machine import Machine
+from repro.simulate.machine import Machine, compute_host
 from repro.simulate.resources import SimLatch, SimSemaphore
 from repro.simulate.workload import TestWorkload
+
+#: Fraction of each *thread*-pool task that must hold the GIL
+#: (serialized across workers): Python-level bookkeeping, buffer
+#: handoff, and the interpreter portions of the numpy kernels. With W
+#: workers the GIL-bound fractions queue while the releases overlap, so
+#: compute wall ~= f*C + (1-f)*C/W — calibrated to the real thread
+#: pool's ~2.3-2.4x at four workers on the complex op-set.
+THREAD_GIL_FRACTION = 0.25
+
+#: Per-task overhead of the *process* pool as a fraction of the task's
+#: compute demand: token encode/decode, queue hops, result attach.
+#: Zero-copy tokens make dispatch cheap, not free — this is why
+#: process/4 lands near 3.8x rather than a clean 4x.
+PROCESS_DISPATCH_OVERHEAD = 0.05
 
 
 @dataclass
@@ -45,6 +59,8 @@ class SimRunResult:
     visible_io_s: float
     io_workers: int = 1
     files_per_snapshot: int = 1
+    compute_workers: int = 1
+    compute_backend: str = "thread"
     per_unit_wait_s: List[float] = field(default_factory=list)
     #: Resource utilization: CPU-seconds actually consumed and disk
     #: busy time — lets benches report how overlap shifts load.
@@ -71,6 +87,8 @@ def simulate_voyager(
     seed: int = 0,
     io_workers: int = 1,
     files_per_snapshot: int = 1,
+    compute_workers: int = 1,
+    compute_backend: str = "thread",
 ) -> SimRunResult:
     """Simulate one Voyager run.
 
@@ -91,6 +109,17 @@ def simulate_voyager(
     ``files_per_snapshot`` splits each snapshot's I/O demand across that
     many separately-loadable file units. The defaults of 1/1 replay the
     paper's exact single-thread schedule, event for event.
+
+    ``compute_workers``/``compute_backend`` model the compute plane:
+    each snapshot's compute demand is split evenly across that many
+    workers. The ``"thread"`` backend serializes
+    :data:`THREAD_GIL_FRACTION` of every worker's share through a GIL
+    semaphore; the ``"process"`` backend
+    (:class:`~repro.core.compute_proc.ProcessComputePool`) runs shares
+    fully concurrently, inflated by
+    :data:`PROCESS_DISPATCH_OVERHEAD`. ``compute_workers=1`` (the
+    default) bypasses the model entirely — the serial schedule is
+    replayed event for event.
     """
     if mode not in ("O", "G", "TG"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -100,6 +129,13 @@ def simulate_voyager(
         raise ValueError("io_workers must be at least 1")
     if files_per_snapshot < 1:
         raise ValueError("files_per_snapshot must be at least 1")
+    if compute_workers < 1:
+        raise ValueError("compute_workers must be at least 1")
+    if compute_backend not in ("thread", "process"):
+        raise ValueError(
+            "compute_backend must be 'thread' or 'process', "
+            f"got {compute_backend!r}"
+        )
 
     sim = Simulator()
     cpu, disk = machine.build(sim)
@@ -124,6 +160,35 @@ def simulate_voyager(
 
     waits: List[float] = []
     state = {"stop": False, "total": 0.0}
+    gil = SimSemaphore(sim, 1)
+
+    def _compute_phase(i):
+        # One snapshot's compute demand on the modelled compute plane.
+        # With one worker this is exactly the seed's single cpu.use —
+        # no latch, no spawn, identical event sequence.
+        demand = workload.compute_s * compute_factor[i]
+        if compute_workers == 1:
+            yield cpu.use(demand)
+            return
+        done = SimLatch(sim)
+        left = {"n": compute_workers}
+        share = demand / compute_workers
+
+        def _compute_worker():
+            if compute_backend == "thread":
+                yield gil.acquire()
+                yield cpu.use(share * THREAD_GIL_FRACTION)
+                gil.release()
+                yield cpu.use(share * (1.0 - THREAD_GIL_FRACTION))
+            else:
+                yield cpu.use(share * (1.0 + PROCESS_DISPATCH_OVERHEAD))
+            left["n"] -= 1
+            if left["n"] == 0:
+                done.set()
+
+        for _w in range(compute_workers):
+            sim.spawn(_compute_worker())
+        yield done.wait()
 
     if competitor:
         def competitor_proc():
@@ -141,7 +206,7 @@ def simulate_voyager(
                 yield disk.read(disk_s * io_factor[i])
                 yield cpu.use(parse_s * io_factor[i])
                 waits.append(sim.now - t0)
-                yield cpu.use(workload.compute_s * compute_factor[i])
+                yield from _compute_phase(i)
             state["stop"] = True
             state["total"] = sim.now
 
@@ -178,7 +243,7 @@ def simulate_voyager(
                 for j in range(files):
                     yield loaded[i][j].wait()
                 waits.append(sim.now - t0)
-                yield cpu.use(workload.compute_s * compute_factor[i])
+                yield from _compute_phase(i)
                 for _ in range(files):
                     window.release()   # delete_unit frees the memory
             state["stop"] = True
@@ -198,7 +263,64 @@ def simulate_voyager(
         visible_io_s=sum(waits),
         io_workers=io_workers if mode == "TG" else 1,
         files_per_snapshot=files_per_snapshot if mode == "TG" else 1,
+        compute_workers=compute_workers,
+        compute_backend=compute_backend,
         per_unit_wait_s=waits,
         cpu_busy_s=cpu.busy_cpu_seconds,
         disk_busy_s=disk.busy_seconds,
     )
+
+
+@dataclass
+class ComputeSweepPoint:
+    """One (backend, workers) cell of a compute-plane sweep."""
+
+    backend: str
+    workers: int
+    total_s: float
+    computation_s: float
+    #: Compute-wall speedup over the serial (one-worker) run.
+    speedup: float
+
+
+def compute_sweep(
+    workload: TestWorkload,
+    machine: Optional[Machine] = None,
+    workers: Sequence[int] = (1, 2, 4),
+    backends: Sequence[str] = ("thread", "process"),
+    mode: str = "G",
+    window_units: int = 12,
+) -> List[ComputeSweepPoint]:
+    """Sweep the compute plane: backend x worker-count, same workload.
+
+    Runs :func:`simulate_voyager` once per cell on ``machine`` (default:
+    a zero-contention four-core :func:`~repro.simulate.machine.compute_host`)
+    and reports each cell's compute wall
+    (:attr:`SimRunResult.computation_s`) as a speedup over the serial
+    run. Deterministic — the W1-mirroring sweep the P1 bench emits: the
+    thread backend plateaus at ``1 / (f + (1-f)/W)`` under the GIL
+    while the process backend tracks ``W / (1 + overhead)``.
+    """
+    if machine is None:
+        machine = compute_host(4)
+    base = simulate_voyager(machine, workload, mode,
+                            window_units=window_units)
+    points: List[ComputeSweepPoint] = []
+    for backend in backends:
+        for count in workers:
+            run = simulate_voyager(
+                machine, workload, mode,
+                window_units=window_units,
+                compute_workers=count,
+                compute_backend=backend,
+            )
+            speedup = (base.computation_s / run.computation_s
+                       if run.computation_s > 0 else float("inf"))
+            points.append(ComputeSweepPoint(
+                backend=backend,
+                workers=count,
+                total_s=run.total_s,
+                computation_s=run.computation_s,
+                speedup=speedup,
+            ))
+    return points

@@ -9,6 +9,18 @@ cut edges. The implementation is vectorized per case over all tets.
 A second per-node array can be *carried*: its values are interpolated onto
 the output triangle vertices with the same edge weights — used by the
 cutting-plane stage to paint a field onto the slice.
+
+Sub-block extraction: the kernel is also exposed over a contiguous
+*range* of tets (:func:`marching_tets_pieces`), so one large block can
+be split across compute workers instead of straggling as a single
+task. Every (sign case, case triangle) pair has a fixed global *piece
+rank* (:data:`_PIECE_ORDER`); each range returns its per-rank arrays
+and :func:`merge_tet_pieces` reassembles them rank-major,
+range-ascending — precisely the order the whole-block
+:func:`marching_tets` emits, so the merged soup is byte-identical no
+matter how the tets were split. (All per-tet arithmetic is
+elementwise or row-indexed, so subsetting rows never changes a row's
+floats.)
 """
 
 from __future__ import annotations
@@ -46,6 +58,16 @@ _CASES: Dict[int, List[Tuple[int, int, int]]] = {
     0b1101: [(0, 3, 4)],
     0b1110: [(0, 2, 1)],
 }
+
+#: Global emission order of extraction pieces: one rank per
+#: (sign case, case triangle) pair, in ``_CASES`` iteration order —
+#: the order :func:`marching_tets` has always appended pieces in.
+#: Sub-block results are keyed by rank so the merge can reproduce it.
+_PIECE_ORDER: List[Tuple[int, int]] = [
+    (mask, tri_index)
+    for mask, triangles in _CASES.items()
+    for tri_index in range(len(triangles))
+]
 
 
 @dataclass
@@ -137,14 +159,38 @@ def marching_tets(
                 f"{len(carry_values)} carry values for {len(nodes)} nodes"
             )
 
+    pieces = _case_pieces(nodes, tets, level_values, carry_values,
+                          isovalue)
+    return TriangleSoup.concatenate(
+        [TriangleSoup(verts, vals) for _rank, verts, vals in pieces]
+    )
+
+
+def _case_pieces(
+    nodes: np.ndarray,
+    tets: np.ndarray,
+    level_values: np.ndarray,
+    carry_values: np.ndarray,
+    isovalue: float,
+) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+    """The shared extraction core: rank-keyed raw piece arrays.
+
+    One ``(rank, vertices (k, 3, 3), values (k, 3))`` triple per
+    non-empty (sign case, case triangle) pair, in ``_PIECE_ORDER``
+    order with tets ascending within a piece. Both the whole-block
+    and the sub-block entry points delegate here, so their floats are
+    the same by construction.
+    """
     tet_values = level_values[tets]                       # (m, 4)
     inside = tet_values >= isovalue
     masks = inside.astype(np.int8) @ _MASK_WEIGHTS        # (m,)
 
-    pieces: List[TriangleSoup] = []
+    pieces: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    rank = 0
     for mask, triangles in _CASES.items():
         selected = np.nonzero(masks == mask)[0]
         if not len(selected):
+            rank += len(triangles)
             continue
         sel_tets = tets[selected]                          # (k, 4)
         sel_vals = tet_values[selected]                    # (k, 4)
@@ -170,5 +216,57 @@ def marching_tets(
         for tri in triangles:
             verts = np.stack([edge_pos[e] for e in tri], axis=1)
             vals = np.stack([edge_carry[e] for e in tri], axis=1)
-            pieces.append(TriangleSoup(verts, vals))
+            pieces.append((rank, verts, vals))
+            rank += 1
+    return pieces
+
+
+def marching_tets_pieces(
+    nodes: np.ndarray,
+    tets: np.ndarray,
+    level_values: np.ndarray,
+    isovalue: float,
+    lo: int,
+    hi: int,
+    carry_values: Optional[np.ndarray] = None,
+) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+    """Extract over the contiguous tet range ``tets[lo:hi]`` only.
+
+    The sub-block compute kernel: a module-level function of plain
+    arrays (REP107 — and re-importable by
+    :class:`~repro.core.compute_proc.ProcessComputePool` workers, with
+    ``nodes``/``tets``/``level_values`` arriving as zero-copy tokens).
+    Returns rank-keyed raw piece arrays; feed every range's result, in
+    ascending range order, to :func:`merge_tet_pieces` to obtain the
+    byte-identical whole-block soup.
+    """
+    nodes = np.asarray(nodes, dtype=np.float64)
+    tets = np.asarray(tets)
+    level_values = np.asarray(level_values, dtype=np.float64)
+    if carry_values is None:
+        carry_values = level_values
+    else:
+        carry_values = np.asarray(carry_values, dtype=np.float64)
+    return _case_pieces(nodes, tets[lo:hi], level_values, carry_values,
+                        isovalue)
+
+
+def merge_tet_pieces(
+    chunks: List[List[Tuple[int, np.ndarray, np.ndarray]]],
+) -> TriangleSoup:
+    """Reassemble sub-block piece lists into the whole-block soup.
+
+    ``chunks`` must be ordered by ascending tet range. Pieces are laid
+    out rank-major, chunk-ascending: for a fixed rank the chunks hold
+    disjoint ascending tet subsets, so their concatenation is the
+    ascending selection the whole block would have produced — the
+    merged soup is byte-for-byte what :func:`marching_tets` returns on
+    the unsplit block.
+    """
+    pieces: List[TriangleSoup] = []
+    for rank in range(len(_PIECE_ORDER)):
+        for chunk in chunks:
+            for piece_rank, verts, vals in chunk:
+                if piece_rank == rank:
+                    pieces.append(TriangleSoup(verts, vals))
     return TriangleSoup.concatenate(pieces)

@@ -24,9 +24,19 @@ from repro.viz.geometry import (
     node_tet_counts,
 )
 from repro.viz.gops import GraphicsOp, GraphicsOps
-from repro.viz.isosurface import TriangleSoup, marching_tets
+from repro.viz.isosurface import (
+    TriangleSoup,
+    marching_tets,
+    marching_tets_pieces,
+    merge_tet_pieces,
+)
 from repro.viz.render import Renderer
 from repro.viz.slice_plane import slice_mesh
+
+#: Minimum tets per sub-block extraction task. Blocks smaller than two
+#: grains run whole — the fan-out's share/merge overhead would exceed
+#: the kernel time it parallelizes.
+SUBBLOCK_MIN_TETS = 1024
 
 
 class SnapshotData:
@@ -199,7 +209,12 @@ class Pipeline:
                 return FramePlan(data, frame_key, cache, cached=cached)
         pool = self.pool
         tasks: Optional[List[List[object]]] = None
+        # Per-(op, block) lookahead needs tasks that capture the data
+        # backend (a bound method over engine state) — fine on threads,
+        # impossible on a distributed (process) pool, whose parallelism
+        # comes from the sub-block split inside extraction instead.
         if (pool is not None and getattr(pool, "parallel", False)
+                and not getattr(pool, "distributed", False)
                 and data.parallel_extract_safe()):
             tasks = []
             for op in self.gops:
@@ -354,9 +369,50 @@ class Pipeline:
                 return TriangleSoup.empty()
             return TriangleSoup(nodes[faces], node_scalars[faces])
         if op.kind == "isosurface":
-            return marching_tets(nodes, tets, node_scalars, op.isovalue)
+            return self._marching(nodes, tets, node_scalars,
+                                  op.isovalue)
         if op.kind == "slice":
             return slice_mesh(
                 nodes, tets, node_scalars, op.origin, op.normal
             )
         raise AssertionError(f"unreachable op kind {op.kind!r}")
+
+    def _marching(self, nodes: np.ndarray, tets: np.ndarray,
+                  node_scalars: np.ndarray,
+                  isovalue: float) -> TriangleSoup:
+        """Isosurface extraction, split to sub-block granularity.
+
+        Large blocks fan out as contiguous tet ranges —
+        :func:`~repro.viz.isosurface.marching_tets_pieces` tasks at a
+        priority between tile compositing (0.0) and per-(op, block)
+        lookahead (-1.0) — and merge deterministically, so the soup is
+        byte-identical to the whole-block kernel however the pool
+        schedules the ranges. The mesh arrays are shared once per
+        block (``pool.share``: identity on threads, one token export
+        or staging copy on the process backend). Small blocks and
+        serial pools run the whole-block kernel unchanged.
+        """
+        pool = self.pool
+        n = len(tets)
+        if pool is None or not getattr(pool, "parallel", False):
+            return marching_tets(nodes, tets, node_scalars, isovalue)
+        n_chunks = min(2 * getattr(pool, "workers", 1),
+                       n // SUBBLOCK_MIN_TETS)
+        if n_chunks < 2:
+            return marching_tets(nodes, tets, node_scalars, isovalue)
+        bounds = np.linspace(0, n, n_chunks + 1).astype(np.int64)
+        s_nodes = pool.share(nodes)
+        s_tets = pool.share(tets)
+        s_scalars = pool.share(node_scalars)
+        tasks = [
+            pool.submit(marching_tets_pieces, s_nodes, s_tets,
+                        s_scalars, isovalue, int(lo), int(hi),
+                        priority=-0.5)
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        chunks = [task.wait() for task in tasks]
+        soup = merge_tet_pieces(chunks)
+        for task in tasks:
+            if hasattr(task, "release"):
+                task.release()
+        return soup

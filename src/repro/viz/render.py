@@ -45,6 +45,124 @@ TILE_SIZE = 64
 CHUNK_SIZE = 16
 
 
+def _composite_chunks(tri: np.ndarray, pts: np.ndarray, zs: np.ndarray,
+                      cols: np.ndarray, x_min: np.ndarray,
+                      x_max: np.ndarray, y_min: np.ndarray,
+                      y_max: np.ndarray, denom: np.ndarray,
+                      zbuf: np.ndarray, frame: np.ndarray,
+                      px0: int, px1: int, py0: int, py1: int) -> None:
+    """Composite one tile's triangles in submission order.
+
+    ``zbuf``/``frame`` cover exactly the tile's pixel region
+    ``[py0..py1] × [px0..px1]`` and are updated in place — the thread
+    path passes views of the renderer's buffers, the process path a
+    worker-local copy. Triangles are evaluated in chunks of CHUNK_SIZE
+    over the chunk's union bbox (clipped to the tile); within a chunk
+    the depth winner per pixel is the *first* minimum (``argmin``), and
+    chunks apply in ascending submission order with the strict
+    ``z < zbuffer`` test — together exactly the serial loop's
+    first-wins-on-ties compositing rule.
+    """
+    # Tile-wide pixel index vectors, sliced per chunk below.
+    tix = np.arange(px0, px1 + 1)
+    tiy = np.arange(py0, py1 + 1)
+    for start in range(0, tri.size, CHUNK_SIZE):
+        chunk = tri[start:start + CHUNK_SIZE]
+        ux0 = max(int(x_min[chunk].min()), px0)
+        ux1 = min(int(x_max[chunk].max()), px1)
+        uy0 = max(int(y_min[chunk].min()), py0)
+        uy1 = min(int(y_max[chunk].max()), py1)
+        ix = tix[ux0 - px0:ux1 + 1 - px0]
+        iy = tiy[uy0 - py0:uy1 + 1 - py0]
+        # Pixel centers: exact integer + 0.5 floats, the same
+        # values the serial loop's meshgrid produces.
+        gx = (ix + 0.5)[None, None, :]
+        gy = (iy + 0.5)[None, :, None]
+        ixg = ix[None, None, :]
+        iyg = iy[None, :, None]
+        ztile = zbuf[uy0 - py0:uy1 + 1 - py0, ux0 - px0:ux1 + 1 - px0]
+        ftile = frame[uy0 - py0:uy1 + 1 - py0, ux0 - px0:ux1 + 1 - px0]
+        p = pts[chunk]
+        x0 = p[:, 0, 0][:, None, None]
+        y0 = p[:, 0, 1][:, None, None]
+        x1 = p[:, 1, 0][:, None, None]
+        y1 = p[:, 1, 1][:, None, None]
+        x2 = p[:, 2, 0][:, None, None]
+        y2 = p[:, 2, 1][:, None, None]
+        d = denom[chunk][:, None, None]
+        w0 = ((y1 - y2) * (gx - x2) + (x2 - x1) * (gy - y2)) / d
+        w1 = ((y2 - y0) * (gx - x2) + (x0 - x2) * (gy - y2)) / d
+        w2 = 1.0 - w0 - w1
+        inside = (w0 >= 0) & (w1 >= 0) & (w2 >= 0)
+        # Confine each triangle to its own bbox — the serial loop
+        # never evaluates coverage outside it, and float roundoff
+        # could otherwise admit hull-adjacent pixels.
+        mx = (ixg >= x_min[chunk][:, None, None]) \
+            & (ixg <= x_max[chunk][:, None, None])
+        my = (iyg >= y_min[chunk][:, None, None]) \
+            & (iyg <= y_max[chunk][:, None, None])
+        inside &= mx & my
+        z = zs[chunk]
+        a0 = w0 / z[:, 0][:, None, None]
+        a1 = w1 / z[:, 1][:, None, None]
+        a2 = w2 / z[:, 2][:, None, None]
+        inv_z = a0 + a1 + a2
+        pixel_z = 1.0 / np.where(inv_z > 0, inv_z, np.inf)
+        cand = np.where(inside, pixel_z, np.inf)
+        # First index attaining the minimum == earliest submission:
+        # the serial strict-less tie-break, vectorized.
+        k = np.argmin(cand, axis=0)[None, :, :]
+        zmin = np.take_along_axis(cand, k, 0)[0]
+        better = zmin < ztile
+        if not better.any():
+            continue
+        aw0 = np.take_along_axis(a0, k, 0)[0]
+        aw1 = np.take_along_axis(a1, k, 0)[0]
+        aw2 = np.take_along_axis(a2, k, 0)[0]
+        cw = cols[chunk][k[0]]                 # (uh, uw, 3, 3)
+        # Same association order as the serial color blend. Lanes
+        # that lost (zmin == inf) may produce inf/nan here; they
+        # are masked out by `better`.
+        with np.errstate(invalid="ignore"):
+            r = (
+                aw0[..., None] * cw[:, :, 0, :]
+                + aw1[..., None] * cw[:, :, 1, :]
+                + aw2[..., None] * cw[:, :, 2, :]
+            ) * zmin[..., None]
+        ztile[better] = zmin[better]
+        ftile[better] = r[better]
+
+
+def composite_tile_task(ty: int, tx: int, tile: int, height: int,
+                        width: int, tri: np.ndarray, pts: np.ndarray,
+                        zs: np.ndarray, cols: np.ndarray,
+                        x_min: np.ndarray, x_max: np.ndarray,
+                        y_min: np.ndarray, y_max: np.ndarray,
+                        denom: np.ndarray, frame_tile: np.ndarray,
+                        z_tile: np.ndarray) -> tuple:
+    """Pure compositing kernel for one tile — the process-pool task.
+
+    A module-level function of plain arrays (REP107: no engine or
+    arena types), so a
+    :class:`~repro.core.compute_proc.ProcessComputePool` worker can
+    re-import it and receive the per-draw arrays as zero-copy tokens.
+    ``frame_tile``/``z_tile`` carry the tile's pre-draw pixels
+    (read-only in the worker); the kernel copies them and runs the
+    exact :func:`_composite_chunks` arithmetic the thread path runs in
+    place, so the returned ``(frame, z)`` pair is byte-identical to
+    the serial result for this tile.
+    """
+    frame = np.array(frame_tile, dtype=np.float64)
+    zbuf = np.array(z_tile, dtype=np.float64)
+    py0 = ty * tile
+    py1 = min(py0 + tile, height) - 1
+    px0 = tx * tile
+    px1 = min(px0 + tile, width) - 1
+    _composite_chunks(tri, pts, zs, cols, x_min, x_max, y_min, y_max,
+                      denom, zbuf, frame, px0, px1, py0, py1)
+    return frame, zbuf
+
+
 class Renderer:
     """Accumulates shaded triangles into an image with a z-buffer."""
 
@@ -222,6 +340,14 @@ class Renderer:
         tx_hi = x_max // tile
         ty_lo = y_min // tile
         ty_hi = y_max // tile
+        distributed = getattr(pool, "distributed", False)
+        if distributed:
+            # Process backend: the per-draw arrays are shared once (a
+            # token export or one staging copy) instead of being
+            # pickled into every tile's message.
+            shared = [pool.share(a) for a in
+                      (pts, zs, cols, x_min, x_max, y_min, y_max,
+                       denom)]
         tasks: List[object] = []
         for ty in range((height + tile - 1) // tile):
             row = (ty_lo <= ty) & (ty <= ty_hi)
@@ -234,10 +360,37 @@ class Renderer:
                 # nonzero is ascending, so each tile sees its triangles
                 # in original submission order.
                 tri = np.nonzero(mask)[0]
-                tasks.append(pool.submit(
-                    self._composite_tile, ty, tx, tri, pts, zs, cols,
-                    x_min, x_max, y_min, y_max, denom,
-                ))
+                if distributed:
+                    py0 = ty * tile
+                    py1 = min(py0 + tile, height) - 1
+                    px0 = tx * tile
+                    px1 = min(px0 + tile, width) - 1
+                    tasks.append((ty, tx, pool.submit(
+                        composite_tile_task, ty, tx, tile, height,
+                        width, tri, *shared,
+                        self._frame[py0:py1 + 1, px0:px1 + 1],
+                        self._zbuffer[py0:py1 + 1, px0:px1 + 1],
+                    )))
+                else:
+                    tasks.append(pool.submit(
+                        self._composite_tile, ty, tx, tri, pts, zs,
+                        cols, x_min, x_max, y_min, y_max, denom,
+                    ))
+        if distributed:
+            # Tiles are disjoint, so merge order is immaterial; the
+            # per-draw barrier below is the same one the thread path
+            # has always had.
+            for ty, tx, task in tasks:
+                frame_tile, z_tile = task.wait()
+                py0 = ty * tile
+                py1 = min(py0 + tile, height) - 1
+                px0 = tx * tile
+                px1 = min(px0 + tile, width) - 1
+                self._frame[py0:py1 + 1, px0:px1 + 1] = frame_tile
+                self._zbuffer[py0:py1 + 1, px0:px1 + 1] = z_tile
+                if hasattr(task, "release"):
+                    task.release()
+            return
         for task in tasks:
             task.wait()
 
@@ -247,14 +400,12 @@ class Renderer:
                         x_max: np.ndarray, y_min: np.ndarray,
                         y_max: np.ndarray,
                         denom: np.ndarray) -> None:
-        """Composite one tile's triangles in submission order.
+        """Composite one tile in place (thread/steal execution).
 
-        Triangles are evaluated in chunks of CHUNK_SIZE over the chunk's
-        union bbox (clipped to the tile); within a chunk the depth
-        winner per pixel is the *first* minimum (``argmin``), and
-        chunks apply in ascending submission order with the strict
-        ``z < zbuffer`` test — together exactly the serial loop's
-        first-wins-on-ties compositing rule.
+        Passes views of the renderer's frame/z-buffer regions to
+        :func:`_composite_chunks` — the identical arithmetic the
+        process backend runs on a worker-local copy via
+        :func:`composite_tile_task`.
         """
         tile = self._tile
         height, width = self._zbuffer.shape
@@ -262,74 +413,12 @@ class Renderer:
         py1 = min(py0 + tile, height) - 1
         px0 = tx * tile
         px1 = min(px0 + tile, width) - 1
-        # Tile-wide pixel index vectors, sliced per chunk below.
-        tix = np.arange(px0, px1 + 1)
-        tiy = np.arange(py0, py1 + 1)
-        for start in range(0, tri.size, CHUNK_SIZE):
-            chunk = tri[start:start + CHUNK_SIZE]
-            ux0 = max(int(x_min[chunk].min()), px0)
-            ux1 = min(int(x_max[chunk].max()), px1)
-            uy0 = max(int(y_min[chunk].min()), py0)
-            uy1 = min(int(y_max[chunk].max()), py1)
-            ix = tix[ux0 - px0:ux1 + 1 - px0]
-            iy = tiy[uy0 - py0:uy1 + 1 - py0]
-            # Pixel centers: exact integer + 0.5 floats, the same
-            # values the serial loop's meshgrid produces.
-            gx = (ix + 0.5)[None, None, :]
-            gy = (iy + 0.5)[None, :, None]
-            ixg = ix[None, None, :]
-            iyg = iy[None, :, None]
-            ztile = self._zbuffer[uy0:uy1 + 1, ux0:ux1 + 1]
-            ftile = self._frame[uy0:uy1 + 1, ux0:ux1 + 1]
-            p = pts[chunk]
-            x0 = p[:, 0, 0][:, None, None]
-            y0 = p[:, 0, 1][:, None, None]
-            x1 = p[:, 1, 0][:, None, None]
-            y1 = p[:, 1, 1][:, None, None]
-            x2 = p[:, 2, 0][:, None, None]
-            y2 = p[:, 2, 1][:, None, None]
-            d = denom[chunk][:, None, None]
-            w0 = ((y1 - y2) * (gx - x2) + (x2 - x1) * (gy - y2)) / d
-            w1 = ((y2 - y0) * (gx - x2) + (x0 - x2) * (gy - y2)) / d
-            w2 = 1.0 - w0 - w1
-            inside = (w0 >= 0) & (w1 >= 0) & (w2 >= 0)
-            # Confine each triangle to its own bbox — the serial loop
-            # never evaluates coverage outside it, and float roundoff
-            # could otherwise admit hull-adjacent pixels.
-            mx = (ixg >= x_min[chunk][:, None, None]) \
-                & (ixg <= x_max[chunk][:, None, None])
-            my = (iyg >= y_min[chunk][:, None, None]) \
-                & (iyg <= y_max[chunk][:, None, None])
-            inside &= mx & my
-            z = zs[chunk]
-            a0 = w0 / z[:, 0][:, None, None]
-            a1 = w1 / z[:, 1][:, None, None]
-            a2 = w2 / z[:, 2][:, None, None]
-            inv_z = a0 + a1 + a2
-            pixel_z = 1.0 / np.where(inv_z > 0, inv_z, np.inf)
-            cand = np.where(inside, pixel_z, np.inf)
-            # First index attaining the minimum == earliest submission:
-            # the serial strict-less tie-break, vectorized.
-            k = np.argmin(cand, axis=0)[None, :, :]
-            zmin = np.take_along_axis(cand, k, 0)[0]
-            better = zmin < ztile
-            if not better.any():
-                continue
-            aw0 = np.take_along_axis(a0, k, 0)[0]
-            aw1 = np.take_along_axis(a1, k, 0)[0]
-            aw2 = np.take_along_axis(a2, k, 0)[0]
-            cw = cols[chunk][k[0]]                 # (uh, uw, 3, 3)
-            # Same association order as the serial color blend. Lanes
-            # that lost (zmin == inf) may produce inf/nan here; they
-            # are masked out by `better`.
-            with np.errstate(invalid="ignore"):
-                r = (
-                    aw0[..., None] * cw[:, :, 0, :]
-                    + aw1[..., None] * cw[:, :, 1, :]
-                    + aw2[..., None] * cw[:, :, 2, :]
-                ) * zmin[..., None]
-            ztile[better] = zmin[better]
-            ftile[better] = r[better]
+        _composite_chunks(
+            tri, pts, zs, cols, x_min, x_max, y_min, y_max, denom,
+            self._zbuffer[py0:py1 + 1, px0:px1 + 1],
+            self._frame[py0:py1 + 1, px0:px1 + 1],
+            px0, px1, py0, py1,
+        )
 
     def draw_colorbar(self, colormap: Colormap,
                       width: int = 12,

@@ -70,6 +70,11 @@ class VoyagerConfig:
     #: snapshot with rasterization of the current one. Frames are
     #: byte-for-byte identical to the serial build either way.
     compute_workers: int = 1
+    #: Compute-plane backend: ``"thread"`` (in-process pool) or
+    #: ``"process"`` (:class:`~repro.core.compute_proc.ProcessComputePool`
+    #: — long-lived worker processes fed zero-copy shared-memory tokens,
+    #: escaping the GIL). Frames stay byte-identical either way.
+    compute_backend: str = "thread"
     render: bool = True
     steps: Optional[int] = None          # limit snapshot count
     gops: Optional[GraphicsOps] = None   # overrides `test` if given
@@ -91,6 +96,11 @@ class VoyagerConfig:
             )
         if self.compute_workers < 1:
             raise ValueError("compute_workers must be at least 1")
+        if self.compute_backend not in ("thread", "process"):
+            raise ValueError(
+                "compute_backend must be 'thread' or 'process', "
+                f"got {self.compute_backend!r}"
+            )
         if self.session is not None:
             self.mode = "TG"
 
@@ -341,10 +351,16 @@ class Voyager:
         # The O build has no GBO (hence no engine-owned pool), but tile
         # rasterization still parallelizes; extraction stays serial —
         # DirectSnapshotData's per-op grid state is not thread-safe.
-        pool = (ComputePool(self.config.compute_workers,
-                            name="voyager-compute")
-                if self.config.compute_workers > 1 else None)
-        if pool is not None:
+        pool = None
+        if self.config.compute_workers > 1:
+            if self.config.compute_backend == "process":
+                from repro.core.compute_proc import ProcessComputePool
+
+                pool = ProcessComputePool(self.config.compute_workers,
+                                          name="voyager-compute")
+            else:
+                pool = ComputePool(self.config.compute_workers,
+                                   name="voyager-compute")
             pool.start()
         self.pipeline.pool = pool
         t_start = time.perf_counter()
@@ -400,6 +416,7 @@ class Voyager:
             eviction_policy=self.config.eviction_policy,
             derived_cache=self.config.derived_cache,
             compute_workers=self.config.compute_workers,
+            compute_backend=self.config.compute_backend,
         ) as gbo:
             return self._drive_godiva(gbo, multi_thread=multi_thread)
 
@@ -534,6 +551,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "rasterization and frame pipelining; 1 = "
                              "paper-faithful serial, bit-identical "
                              "frames either way)")
+    parser.add_argument("--compute-backend", default="thread",
+                        choices=("thread", "process"),
+                        help="compute-plane backend: in-process threads "
+                             "or GIL-free worker processes fed zero-copy "
+                             "shared-memory tokens")
     args = parser.parse_args(argv)
 
     config = VoyagerConfig(
@@ -544,6 +566,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         io_workers=args.io_workers,
         derived_cache=not args.no_derived_cache,
         compute_workers=args.compute_workers,
+        compute_backend=args.compute_backend,
         out_dir=args.out,
         render=not args.no_render,
         steps=args.steps,

@@ -204,3 +204,29 @@ def test_context_manager_starts_and_closes():
         assert pool.parallel
         assert pool.submit(lambda: 7).wait() == 7
     assert pool.closed
+
+
+def test_max_threads_caps_spawned_workers():
+    """The oversubscription fix: a host-level cap wins over both the
+    worker count and an explicit spawn_threads override."""
+    pool = ComputePool(8, spawn_threads=6, max_threads=2)
+    pool.start()
+    assert len(pool.threads) == 2
+    assert pool.map(lambda x: x + 1, range(8)) == list(range(1, 9))
+    pool.close()
+
+
+def test_max_threads_zero_means_helping_waiters_only():
+    stats = GodivaStats()
+    pool = ComputePool(4, spawn_threads=4, max_threads=0, stats=stats)
+    pool.start()
+    assert pool.threads == []
+    tasks = [pool.submit(lambda i=i: i * 2) for i in range(3)]
+    assert [t.wait() for t in tasks] == [0, 2, 4]
+    assert stats.compute_steals > 0
+    pool.close()
+
+
+def test_max_threads_validated():
+    with pytest.raises(ValueError):
+        ComputePool(2, max_threads=-1)

@@ -142,3 +142,28 @@ class TestValidation:
             assert cluster.assignment["shard1"] == [1, 2, 3]
         finally:
             cluster.close()
+
+
+class TestComputePlaneWiring:
+    def test_compute_args_validated(self, small_dataset):
+        with pytest.raises(ValueError):
+            ShardedGBO(small_dataset.directory, 2, compute_workers=0)
+        with pytest.raises(ValueError):
+            ShardedGBO(small_dataset.directory, 2,
+                       compute_backend="fibers")
+
+    def test_shard_specs_divide_cores(self, small_dataset):
+        """Oversubscription fix: every shard spec carries the per-shard
+        thread cap (cores // n_shards, floored at one) alongside the
+        requested compute plane."""
+        import os as _os
+
+        sharded = ShardedGBO(small_dataset.directory, 2,
+                             compute_workers=4,
+                             compute_backend="process")
+        expected = max(1, (_os.cpu_count() or 1) // 2)
+        for spec in sharded._specs:
+            assert spec.compute_workers == 4
+            assert spec.compute_backend == "process"
+            assert spec.compute_max_threads == expected
+        sharded.close()
